@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one figure (or ablation) of the paper and
+prints its series as a text table, so a ``pytest benchmarks/
+--benchmark-only -s`` run reproduces the evaluation section end to
+end. Scale knobs default to tractable sizes; set
+``REPRO_PAPER_SCALE=1`` in the environment to run the paper's exact
+configurations (50x50 / 800 days for Figure 2; full trial counts for
+Figure 4).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.topology.generators import as_graph
+
+
+def paper_scale() -> bool:
+    """True when the full paper-scale runs are requested."""
+    return os.environ.get("REPRO_PAPER_SCALE", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def figure4_topology():
+    """The 3326-node route-views-like AS graph (session-shared: the
+    sweep cost, not graph construction, is what the benches time)."""
+    return as_graph(random.Random(0), node_count=3326)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled result block (visible with ``-s`` or in the
+    captured output of a failing run)."""
+    print(f"\n=== {title} ===")
+    print(body)

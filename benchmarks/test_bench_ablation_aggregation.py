@@ -1,0 +1,73 @@
+"""Ablation: BGP group-route aggregation on vs. off.
+
+Section 4.3.2: a parent's border routers need not propagate children's
+group routes covered by the parent's own range, so remote G-RIBs see
+one aggregate per top-level domain instead of one route per claiming
+domain. Disabling aggregation shows what the G-RIB would cost without
+it.
+"""
+
+from conftest import emit, paper_scale
+
+from repro.addressing.prefix import Prefix
+from repro.analysis.report import format_table
+from repro.bgp.network import BgpNetwork
+from repro.bgp.routes import RouteType
+from repro.topology.generators import kary_hierarchy
+
+
+def build_and_measure(top_count, child_count, aggregate):
+    """Each top claims a /16; each child a /24 inside it. Returns the
+    G-RIB size at a child router in another branch (a remote view)."""
+    topology = kary_hierarchy(top_count=top_count, child_count=child_count)
+    network = BgpNetwork(topology, aggregate=aggregate)
+    for t in range(top_count):
+        top = topology.domain(f"T{t}")
+        top_prefix = Prefix.parse(f"224.{t}.0.0/16")
+        network.originate_from_domain(top, top_prefix, RouteType.GROUP)
+        for c in range(child_count):
+            child = topology.domain(f"T{t}C{c}")
+            child_prefix = Prefix.parse(f"224.{t}.{c}.0/24")
+            network.originate_from_domain(
+                child, child_prefix, RouteType.GROUP
+            )
+    network.converge()
+    remote_child = topology.domain("T0C0").router()
+    top_router = topology.domain("T0").router()
+    return {
+        "remote_child_grib": network.grib_size(remote_child),
+        "top_grib": network.grib_size(top_router),
+    }
+
+
+def run_comparison(top_count, child_count):
+    rows = []
+    outcomes = {}
+    for label, aggregate in (("aggregated", True), ("flat", False)):
+        sizes = build_and_measure(top_count, child_count, aggregate)
+        outcomes[label] = sizes
+        rows.append(
+            (label, sizes["top_grib"], sizes["remote_child_grib"])
+        )
+    return rows, outcomes
+
+
+def test_bench_ablation_aggregation(benchmark):
+    top_count, child_count = (6, 10) if paper_scale() else (4, 8)
+    rows, outcomes = benchmark.pedantic(
+        run_comparison, args=(top_count, child_count),
+        rounds=1, iterations=1,
+    )
+    emit(
+        "Ablation: group-route aggregation",
+        format_table(("mode", "grib_at_top", "grib_at_child"), rows),
+    )
+    total_origins = top_count * (1 + child_count)
+    aggregated = outcomes["aggregated"]
+    flat = outcomes["flat"]
+    # Without aggregation every origin shows up everywhere.
+    assert flat["remote_child_grib"] == total_origins
+    # With aggregation a child sees: the top-level aggregates, its own
+    # route, and its siblings' specifics — far fewer than all origins.
+    assert aggregated["remote_child_grib"] < flat["remote_child_grib"]
+    assert aggregated["remote_child_grib"] <= top_count + child_count + 1

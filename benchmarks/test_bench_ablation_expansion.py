@@ -1,0 +1,70 @@
+"""Ablation: in-place doubling vs. always-new prefixes.
+
+Section 4.3.3's expansion rule prefers doubling an active prefix
+(claiming its buddy) so a growing domain keeps one aggregatable range.
+Disabling doubling forces every growth step to claim a detached
+prefix, which should inflate the number of prefixes per domain and
+hence the G-RIB.
+"""
+
+from conftest import emit, paper_scale
+
+from repro.analysis.report import format_table
+from repro.experiments.fig2 import Figure2Config, run_figure2
+from repro.masc.config import MascConfig
+
+
+def run_comparison(top_count, children, days):
+    rows = []
+    outcomes = {}
+    for label, allow in (("doubling", True), ("always-new", False)):
+        config = Figure2Config(
+            top_count=top_count,
+            children_per_top=children,
+            duration_days=days,
+            transient_days=min(60.0, days / 2),
+            seed=0,
+            masc=MascConfig(allow_doubling=allow),
+        )
+        result = run_figure2(config)
+        steady = result.steady_state()
+        outcomes[label] = steady
+        rows.append(
+            (
+                label,
+                steady["utilization_mean"],
+                steady["grib_mean"],
+                steady["grib_max"],
+                result.simulation.doublings,
+                result.simulation.claims_made,
+            )
+        )
+    return rows, outcomes
+
+
+def test_bench_ablation_expansion(benchmark):
+    if paper_scale():
+        scale = (10, 25, 200.0)
+    else:
+        scale = (6, 12, 150.0)
+    rows, outcomes = benchmark.pedantic(
+        run_comparison, args=scale, rounds=1, iterations=1
+    )
+    emit(
+        "Ablation: doubling vs always-new expansion",
+        format_table(
+            ("policy", "utilization", "grib_mean", "grib_max",
+             "doublings", "claims"),
+            rows,
+        ),
+    )
+    with_doubling = outcomes["doubling"]
+    without = outcomes["always-new"]
+    # Doubling keeps the routing tables smaller (the aggregation the
+    # buddy-growth rule exists for).
+    assert with_doubling["grib_mean"] < without["grib_mean"]
+    # And the doubling runs actually used the mechanism.
+    doubling_row = next(r for r in rows if r[0] == "doubling")
+    assert doubling_row[4] > 0
+    no_doubling_row = next(r for r in rows if r[0] == "always-new")
+    assert no_doubling_row[4] == 0

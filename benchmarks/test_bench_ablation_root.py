@@ -1,0 +1,69 @@
+"""Ablation: root-domain placement.
+
+Section 5.1: BGMP roots the shared tree at the group initiator's
+domain, arguing that a third-party root (the intra-domain "hash over
+candidate routers" custom) hurts locality. We compare bidirectional
+path-length ratios with the root at a member domain (the initiator)
+versus a random non-member third-party domain.
+"""
+
+import random
+
+from conftest import emit, paper_scale
+
+from repro.analysis.report import format_table
+from repro.analysis.trees import GroupScenario, compare_trees
+from repro.topology.generators import as_graph
+
+
+def run_comparison(topology, trials, group_size, seed):
+    """Section 5.1's scenario: the group initiator sources a
+    significant share of the data (the paper's NASA example), so the
+    root should sit in the initiator's domain. Compare that against a
+    random third-party root for the same groups and sender."""
+    rng = random.Random(seed)
+    sums = {"initiator": 0.0, "third-party": 0.0}
+    maxima = {"initiator": 0.0, "third-party": 0.0}
+    for _ in range(trials):
+        receivers = rng.sample(topology.domains, group_size)
+        source = receivers[0]  # the initiator is the dominant sender
+        member_set = set(receivers)
+        outsiders = [d for d in topology.domains if d not in member_set]
+        third_party = rng.choice(outsiders)
+        for label, root in (
+            ("initiator", receivers[0]),
+            ("third-party", third_party),
+        ):
+            scenario = GroupScenario(topology, root, receivers, source)
+            comparison = compare_trees(scenario)["bidirectional"]
+            sums[label] += comparison.average_ratio
+            maxima[label] = max(maxima[label], comparison.max_ratio)
+    return (
+        {label: total / trials for label, total in sums.items()},
+        maxima,
+    )
+
+
+def test_bench_ablation_root_placement(benchmark, figure4_topology):
+    trials = 30 if paper_scale() else 12
+    averages, maxima = benchmark.pedantic(
+        run_comparison,
+        args=(figure4_topology, trials, 20, 0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation: root-domain placement (bidirectional trees, 20 receivers)",
+        format_table(
+            ("root", "avg_ratio", "max_ratio"),
+            [
+                (label, averages[label], maxima[label])
+                for label in ("initiator", "third-party")
+            ],
+        ),
+    )
+    # With the initiator sourcing the data, rooting at its domain makes
+    # the shared tree coincide with the reverse shortest-path tree
+    # (ratio 1.0); a third-party root pays real overhead.
+    assert averages["initiator"] == 1.0
+    assert averages["third-party"] > averages["initiator"]

@@ -1,0 +1,83 @@
+"""Ablation: BGMP forwarding-state aggregation (section 7).
+
+"We need mechanisms to enable the size of the multicast forwarding
+tables [to] scale well to large numbers of groups. BGMP has provisions
+for this by allowing (*,G-prefix) … state to be stored at the routers
+wherever the list of targets are the same. Its effectiveness will
+depend on the location of the group members."
+
+We sweep membership overlap: many groups with identical membership
+aggregate almost perfectly; disjoint random membership aggregates
+poorly — quantifying the section's caveat.
+"""
+
+import random
+
+from conftest import emit, paper_scale
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.analysis.report import format_table
+from repro.bgmp.aggregation import network_state_sizes
+from repro.bgmp.network import BgmpNetwork
+from repro.topology.generators import kary_hierarchy
+
+BASE = parse_address("224.0.0.0")
+
+
+def build_network():
+    topology = kary_hierarchy(top_count=3, child_count=5)
+    network = BgmpNetwork(topology)
+    network.originate_group_range(
+        topology.domain("T0"), Prefix.parse("224.0.0.0/16")
+    )
+    network.converge()
+    return topology, network
+
+
+def run_sweep(group_count, member_count, seed):
+    rows = []
+    outcomes = {}
+    for label in ("identical", "random"):
+        topology, network = build_network()
+        rng = random.Random(seed)
+        children = [d for d in topology.domains if not d.is_top_level]
+        fixed_members = rng.sample(children, member_count)
+        for offset in range(group_count):
+            group = BASE + offset
+            if label == "identical":
+                members = fixed_members
+            else:
+                members = rng.sample(children, member_count)
+            for domain in members:
+                network.join(domain.host(f"m{offset}"), group)
+        sizes = network_state_sizes(network)
+        ratio = (
+            sizes["flat"] / sizes["aggregated"]
+            if sizes["aggregated"]
+            else 1.0
+        )
+        outcomes[label] = (sizes, ratio)
+        rows.append((label, sizes["flat"], sizes["aggregated"], ratio))
+    return rows, outcomes
+
+
+def test_bench_ablation_state_aggregation(benchmark):
+    group_count = 64 if paper_scale() else 32
+    rows, outcomes = benchmark.pedantic(
+        run_sweep, args=(group_count, 4, 0), rounds=1, iterations=1
+    )
+    emit(
+        "Ablation: (*,G-prefix) forwarding-state aggregation",
+        format_table(
+            ("membership", "flat_entries", "aggregated", "ratio"), rows
+        ),
+    )
+    identical_sizes, identical_ratio = outcomes["identical"]
+    random_sizes, random_ratio = outcomes["random"]
+    # Identical membership: near-perfect collapse (one prefix record
+    # per on-tree router).
+    assert identical_ratio > group_count / 2
+    # Random membership still aggregates, but much less — the paper's
+    # "depends on the location of the group members".
+    assert 1.0 <= random_ratio < identical_ratio / 4

@@ -1,0 +1,70 @@
+"""Ablation: the occupancy threshold.
+
+Section 4.3.3 fixes the target occupancy at 75% and attributes the
+run's ~50% overall utilization partly to that choice ("due in part to
+the choice of a 75% threshold at each level in this two level
+hierarchy"). Sweeping the threshold shows the trade: higher thresholds
+pack tighter (better utilization) but claim more often (more G-RIB
+churn and more prefixes).
+"""
+
+from conftest import emit, paper_scale
+
+from repro.analysis.report import format_table
+from repro.experiments.fig2 import Figure2Config, run_figure2
+from repro.masc.config import MascConfig
+
+
+def run_sweep(thresholds, top_count, children, days):
+    rows = []
+    for threshold in thresholds:
+        config = Figure2Config(
+            top_count=top_count,
+            children_per_top=children,
+            duration_days=days,
+            transient_days=min(60.0, days / 2),
+            seed=0,
+            masc=MascConfig(occupancy_threshold=threshold),
+        )
+        result = run_figure2(config)
+        steady = result.steady_state()
+        rows.append(
+            (
+                threshold,
+                steady["utilization_mean"],
+                steady["grib_mean"],
+                steady["grib_max"],
+                result.simulation.claims_made,
+            )
+        )
+    return rows
+
+
+def test_bench_ablation_threshold(benchmark):
+    if paper_scale():
+        scale = (10, 25, 200.0)
+    else:
+        scale = (6, 12, 150.0)
+    rows = benchmark.pedantic(
+        run_sweep,
+        args=((0.5, 0.75, 0.9),) + scale,
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation: occupancy threshold sweep",
+        format_table(
+            ("threshold", "utilization", "grib_mean", "grib_max",
+             "claims"),
+            rows,
+        ),
+    )
+    by_threshold = {row[0]: row for row in rows}
+    # All three regimes are live and aggregate sanely.
+    for row in rows:
+        assert row[1] > 0.05, "utilization collapsed"
+        assert row[2] > 0, "no G-RIB data"
+    # A stingier threshold (0.9) must not claim more total space than
+    # the laxest one (0.5): utilization ordering should not invert
+    # dramatically (allowing noise, require 0.9 >= 0.5 * 0.75).
+    assert by_threshold[0.9][1] >= by_threshold[0.5][1] * 0.75

@@ -1,0 +1,62 @@
+"""Figure 2(b): G-RIB size over time.
+
+Paper: same run as Figure 2(a). After the transient the G-RIB size
+falls "rapidly as prefixes are recycled and aggregation can take
+place", reaching a mean of ~175 group routes (max <= ~180) against
+2500 child domains holding 37500 live blocks — extremely good
+aggregation. The assertions here check the same structure: a transient
+peak, then a stable plateau that is a tiny fraction of the live block
+count.
+"""
+
+from conftest import emit, paper_scale
+
+from repro.experiments.fig2 import (
+    Figure2Config,
+    paper_scale_config,
+    run_figure2,
+)
+
+
+def _config() -> Figure2Config:
+    if paper_scale():
+        return paper_scale_config()
+    return Figure2Config(
+        top_count=10,
+        children_per_top=25,
+        duration_days=200.0,
+        transient_days=60.0,
+        seed=0,
+    )
+
+
+def test_bench_fig2b_grib_size(benchmark):
+    result = benchmark.pedantic(
+        run_figure2, args=(_config(),), rounds=1, iterations=1
+    )
+    rows = [
+        (int(day), mean, peak)
+        for day, mean, peak in result.grib_series()
+        if int(day) % 20 == 0
+    ]
+    from repro.analysis.report import format_table
+
+    emit(
+        "Figure 2(b): G-RIB size over time",
+        format_table(("day", "grib_mean", "grib_max"), rows),
+    )
+    steady = result.steady_state()
+    live_blocks = result.simulation.live_blocks.values[-1]
+    emit(
+        "Figure 2(b) summary",
+        f"steady G-RIB mean {steady['grib_mean']:.1f}, "
+        f"max {steady['grib_max']:.0f}, live blocks {live_blocks:.0f} "
+        f"(paper at 50x50: mean ~175, max ~180, 37500 blocks)",
+    )
+    # Aggregation: the G-RIB is far smaller than the number of live
+    # address blocks being served.
+    assert live_blocks > 500
+    assert steady["grib_mean"] < live_blocks / 5
+    # Stability: the post-transient max stays within a small factor of
+    # the mean (no unbounded growth).
+    assert steady["grib_max"] < steady["grib_mean"] * 3

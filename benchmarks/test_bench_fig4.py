@@ -1,0 +1,50 @@
+"""Figure 4: path lengths on the four distribution-tree types.
+
+Paper: 3326-node AS topology from route-views dumps; group sizes 1 to
+1000; path-length ratios to the shortest-path tree. Expected shape:
+unidirectional shared trees ~2x on average (max up to ~6x);
+bidirectional within ~30% (max ~4.5x); hybrid within ~20% (max ~4x).
+"""
+
+from conftest import emit, paper_scale
+
+from repro.experiments.fig4 import Figure4Config, run_figure4
+
+
+def _config() -> Figure4Config:
+    if paper_scale():
+        return Figure4Config(trials_per_size=10, seed=0)
+    return Figure4Config(trials_per_size=4, seed=0)
+
+
+def test_bench_fig4_path_lengths(benchmark, figure4_topology):
+    config = _config()
+    result = benchmark.pedantic(
+        run_figure4,
+        args=(config,),
+        kwargs={"topology": figure4_topology},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 4: path length overhead (SPT = 1.0)", result.table())
+    overall = result.overall()
+    emit(
+        "Figure 4 summary",
+        "\n".join(
+            f"{kind}: avg {stats['average']:.3f}, max {stats['max']:.2f}"
+            for kind, stats in overall.items()
+        ),
+    )
+    # Who wins, by roughly what factor (the paper's qualitative claims):
+    uni = overall["unidirectional"]
+    bidir = overall["bidirectional"]
+    hybrid = overall["hybrid"]
+    # 1. Ordering: unidirectional >> bidirectional >= hybrid >= 1.
+    assert uni["average"] > bidir["average"] >= hybrid["average"] >= 1.0
+    # 2. Unidirectional averages roughly double the shortest paths.
+    assert 1.5 <= uni["average"] <= 3.0
+    # 3. Bidirectional and hybrid stay within moderate overhead.
+    assert bidir["average"] <= 1.7
+    assert hybrid["average"] <= bidir["average"]
+    # 4. Worst cases: unidirectional's max dwarfs the shared trees'.
+    assert uni["max"] >= bidir["max"]

@@ -1,0 +1,113 @@
+"""Stability under membership churn (section 3).
+
+"Distribution trees should not be reshaped frequently, since this
+causes both additional control traffic as well as potential packet
+loss on sessions in progress." BGMP joins and prunes are incremental:
+a membership change touches only that member's branch, never the
+existing tree. We measure (a) control messages per membership event
+and (b) how much of the existing tree a join/leave disturbs (zero is
+the design goal).
+"""
+
+import random
+
+from conftest import emit, paper_scale
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.analysis.report import format_table
+from repro.bgmp.network import BgmpNetwork
+from repro.topology.generators import transit_stub
+
+GROUP = parse_address("224.7.0.1")
+
+
+def build_network(seed):
+    topology = transit_stub(
+        random.Random(seed), transit_count=6, stubs_per_transit=10
+    )
+    network = BgmpNetwork(topology)
+    root = topology.domain("X0S0")
+    network.originate_group_range(root, Prefix.parse("224.7.0.0/24"))
+    network.converge()
+    return topology, network
+
+
+def total_control(network):
+    return sum(
+        bgmp.joins_sent + bgmp.prunes_sent
+        for bgmp in network._routers.values()
+    )
+
+
+def run_churn(events, seed):
+    topology, network = build_network(seed)
+    rng = random.Random(seed + 1)
+    stubs = [d for d in topology.domains if d.name.startswith("X") and
+             "S" in d.name]
+    member_hosts = {}
+    per_event_messages = []
+    disturbed_events = 0
+    max_tree = 0
+    for index in range(events):
+        before_msgs = total_control(network)
+        before_tree = set(network.tree_routers(GROUP))
+        if member_hosts and rng.random() < 0.4:
+            domain = rng.choice(sorted(member_hosts,
+                                       key=lambda d: d.domain_id))
+            network.leave(member_hosts.pop(domain), GROUP)
+            joined = None
+        else:
+            domain = rng.choice(stubs)
+            if domain in member_hosts:
+                continue
+            host = domain.host(f"m{index}")
+            network.join(host, GROUP)
+            member_hosts[domain] = host
+            joined = domain
+        after_tree = set(network.tree_routers(GROUP))
+        per_event_messages.append(total_control(network) - before_msgs)
+        max_tree = max(max_tree, len(after_tree))
+        # Reshaping check: a join only adds routers, a leave only
+        # removes them — surviving branches never move.
+        if joined is not None:
+            if not before_tree <= after_tree:
+                disturbed_events += 1
+        else:
+            if not after_tree <= before_tree:
+                disturbed_events += 1
+    return {
+        "events": len(per_event_messages),
+        "avg_messages": (
+            sum(per_event_messages) / len(per_event_messages)
+        ),
+        "max_messages": max(per_event_messages),
+        "max_tree_routers": max_tree,
+        "disturbed_events": disturbed_events,
+    }
+
+
+def test_bench_stability_under_churn(benchmark):
+    events = 400 if paper_scale() else 150
+    results = benchmark.pedantic(
+        run_churn, args=(events, 0), rounds=1, iterations=1
+    )
+    emit(
+        "Stability: control cost and reshaping under membership churn",
+        format_table(
+            ("metric", "value"),
+            [
+                ("membership events", results["events"]),
+                ("avg BGMP messages per event", results["avg_messages"]),
+                ("max BGMP messages per event", results["max_messages"]),
+                ("peak tree size (routers)", results["max_tree_routers"]),
+                ("events disturbing existing branches",
+                 results["disturbed_events"]),
+            ],
+        ),
+    )
+    # Joins/prunes touch one branch: cost stays far below tree size.
+    assert results["avg_messages"] < 6
+    assert results["max_messages"] <= results["max_tree_routers"]
+    # The design goal: no event reshapes branches it does not own.
+    assert results["disturbed_events"] == 0

@@ -1,0 +1,52 @@
+"""Third-party dependency (sections 3 and 5.2).
+
+Measures the fraction of member-pair communications that transit the
+group's root domain: by construction 100% on a unidirectional shared
+tree (every packet climbs to the root), and far lower on BGMP's
+bidirectional trees — the property the paper designed for ("the
+communication between two domains should not rely on the quality of
+paths to a third domain").
+"""
+
+import random
+
+from conftest import emit, paper_scale
+
+from repro.analysis.report import format_table
+from repro.analysis.trees import GroupScenario, root_transit_fraction
+
+
+def run_measurement(topology, trials, group_size, seed):
+    rng = random.Random(seed)
+    uni_total = 0.0
+    bidir_total = 0.0
+    for _ in range(trials):
+        scenario = GroupScenario.random(topology, rng, group_size)
+        uni_total += root_transit_fraction(scenario, "unidirectional")
+        bidir_total += root_transit_fraction(
+            scenario, "bidirectional", rng=rng
+        )
+    return {
+        "unidirectional": uni_total / trials,
+        "bidirectional": bidir_total / trials,
+    }
+
+
+def test_bench_third_party_dependency(benchmark, figure4_topology):
+    trials = 20 if paper_scale() else 8
+    results = benchmark.pedantic(
+        run_measurement,
+        args=(figure4_topology, trials, 30, 0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Third-party dependency: member pairs transiting the root domain",
+        format_table(
+            ("tree type", "fraction_via_root"),
+            [(k, v) for k, v in results.items()],
+        ),
+    )
+    assert results["unidirectional"] == 1.0
+    # Bidirectional trees free most member pairs from the root.
+    assert results["bidirectional"] < 0.5

@@ -1,0 +1,75 @@
+"""Incongruent unicast and multicast topologies (sections 2-3).
+
+In 1998 large stretches of the Internet forwarded unicast but not
+multicast, so the MBone tunnelled around them: the multicast topology
+was *not* the unicast topology. The paper's requirement: "The
+multicast routing protocol should work even if the unicast and
+multicast topologies are not congruent. This can be achieved by using
+the M-RIB information in BGP."
+
+This example builds a diamond where the direct ROOT-MEMBER link is
+unicast-only. Unicast keeps the short path; group routes, the M-RIB,
+the BGMP tree, and the data all detour through VIA.
+
+Run:  python examples/incongruent_topology.py
+"""
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgmp.network import BgmpNetwork
+from repro.bgp.network import BgpNetwork
+from repro.bgp.policy import PromiscuousPolicy
+from repro.bgp.routes import RouteType
+from repro.topology.network import Topology
+
+GROUP = parse_address("224.5.0.1")
+
+
+def main() -> None:
+    topology = Topology()
+    root = topology.add_domain(name="ROOT")
+    member = topology.add_domain(name="MEMBER")
+    via = topology.add_domain(name="VIA")
+    # The direct link forwards unicast only (no multicast support).
+    topology.connect(
+        root.router("R-direct"),
+        member.router("M-direct"),
+        multicast_capable=False,
+    )
+    topology.connect_domains(root, via)
+    topology.connect_domains(via, member)
+
+    network = BgmpNetwork(
+        topology, bgp=BgpNetwork(topology, policy=PromiscuousPolicy())
+    )
+    network.originate_group_range(root, Prefix.parse("224.5.0.0/24"))
+    network.converge()
+
+    print("topology: ROOT --(unicast only)-- MEMBER")
+    print("          ROOT ----- VIA ----- MEMBER (full service)\n")
+
+    router = member.router("M-direct")
+    unicast = network.bgp.speaker(router).loc_rib.lookup(
+        RouteType.UNICAST,
+        network.domain_unicast_prefix(root).network,
+    )
+    print(f"unicast route MEMBER->ROOT: via {unicast.next_hop.name}, "
+          f"{len(unicast.as_path)} AS hop(s)")
+    mrib = network.unicast_route(router, root)
+    print(f"M-RIB route MEMBER->ROOT:   {len(mrib.as_path)} AS hop(s) "
+          f"(detours around the unicast-only link)")
+    grib = network.bgp.speaker(router).next_hop_for_group(GROUP)
+    print(f"group route for {Prefix.parse('224.5.0.0/24')}: "
+          f"{len(grib.as_path)} AS hop(s)\n")
+
+    network.join(member.host("m"), GROUP)
+    tree = {r.domain.name for r in network.tree_routers(GROUP)}
+    print(f"shared tree spans: {sorted(tree)}")
+    report = network.send(root.host("s"), GROUP)
+    print(f"delivery: {report}")
+    print(f"  member reached over {report.external_hops} inter-domain "
+          f"hops — the multicast detour, not the 1-hop unicast path")
+
+
+if __name__ == "__main__":
+    main()

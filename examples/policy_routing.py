@@ -1,0 +1,91 @@
+"""Multicast policy through selective group-route propagation.
+
+Section 4.2: "multicast policies are realized by the selective
+propagation of the group routes in BGP". This example shows the two
+levers: the standard provider/customer (Gao-Rexford) transit policy,
+and a bespoke per-route filter that keeps one customer's group routes
+from ever leaving its provider.
+
+Run:  python examples/policy_routing.py
+"""
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgp.network import BgpNetwork
+from repro.bgp.policy import (
+    GaoRexfordPolicy,
+    PromiscuousPolicy,
+    RouteFilterPolicy,
+)
+from repro.topology.generators import paper_figure1_topology
+
+E_RANGE = Prefix.parse("225.0.0.0/16")
+E_GROUP = parse_address("225.0.0.1")
+B_RANGE = Prefix.parse("224.0.128.0/24")
+B_GROUP = parse_address("224.0.128.1")
+
+
+def reachability(network, topology, group):
+    reachable = []
+    for domain in topology.domains:
+        hit = network.group_next_hop(domain.router(), group)
+        reachable.append((domain.name, hit is not None))
+    return reachable
+
+
+def show(title, pairs):
+    print(f"\n{title}")
+    for name, ok in pairs:
+        print(f"  {name}: {'reachable' if ok else 'NO ROUTE (policy)'}")
+
+
+def main() -> None:
+    # --- 1. Transit policy: peer routes do not transit peers. --------
+    topology = paper_figure1_topology()
+    network = BgpNetwork(topology, policy=GaoRexfordPolicy())
+    network.originate(topology.domain("E").router("E1"), E_RANGE)
+    network.converge()
+    show(
+        "Gao-Rexford: groups rooted in E (a peer of A, like D)",
+        reachability(network, topology, E_GROUP),
+    )
+    print("  -> A serves E's groups to its customers (B, C, F, G)")
+    print("     but does not transit them to its other peer D.")
+
+    topology = paper_figure1_topology()
+    network = BgpNetwork(topology, policy=PromiscuousPolicy())
+    network.originate(topology.domain("E").router("E1"), E_RANGE)
+    network.converge()
+    show(
+        "No policy (promiscuous): the same origination",
+        reachability(network, topology, E_GROUP),
+    )
+
+    # --- 2. A bespoke filter: keep B's groups inside A's cone. --------
+    def keep_b_local(domain, route, learned_from, exporting_to):
+        if route.origin_domain_id != topology.domain("B").domain_id:
+            return True
+        # A refuses to export B's routes to non-customers.
+        if domain.name == "A":
+            return exporting_to == "customer"
+        return True
+
+    topology = paper_figure1_topology()
+    network = BgpNetwork(
+        topology,
+        policy=RouteFilterPolicy(
+            GaoRexfordPolicy(), keep_b_local, name="keep-B-local"
+        ),
+        aggregate=False,
+    )
+    network.originate(topology.domain("B").router("B1"), B_RANGE)
+    network.converge()
+    show(
+        "Custom filter: B's groups stay inside provider A's cone",
+        reachability(network, topology, B_GROUP),
+    )
+    print("  -> C, F, G (A's cone) can join; peers D and E cannot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: the full MASC/BGMP pipeline on the paper's Figure 1
+topology.
+
+Builds the seven-domain internetwork of Figure 1, lets a host in
+domain F create a multicast group (MASC allocates F an address range
+on demand, cascading claims up the provider hierarchy and injecting
+group routes into BGP), joins members in other domains (BGMP builds
+the bidirectional shared tree rooted at F), and sends data.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.system import MulticastInternet
+from repro.topology.generators import paper_figure1_topology
+
+
+def main() -> None:
+    topology = paper_figure1_topology()
+    internet = MulticastInternet(topology, seed=42)
+
+    # --- 1. A session initiator in stub domain F creates a group. ---
+    f = topology.domain("F")
+    initiator = f.host("alice")
+    session = internet.create_group(initiator)
+    print(f"created group {session.address}")
+    print(f"root domain: {session.root_domain.name} (the initiator's)")
+
+    # MASC allocated ranges on demand, nested up the hierarchy:
+    for name in ("F", "B", "A"):
+        domain = topology.domain(name)
+        ranges = internet.claimed_ranges(domain)
+        print(f"  {name} claimed: {[str(p) for p in ranges]}")
+
+    # --- 2. Members join from other domains. -------------------------
+    members = []
+    for name in ("G", "C", "D"):
+        member = topology.domain(name).host("member")
+        joined = internet.join(member, session.group)
+        members.append(member)
+        print(f"member in {name} joined: {joined}")
+
+    tree = internet.bgmp.tree_routers(session.group)
+    print("shared tree border routers:",
+          ", ".join(r.name for r in tree))
+    from repro.analysis.render import render_bgmp_tree
+
+    print("shared tree (domains):")
+    for line in render_bgmp_tree(internet.bgmp, session.group).splitlines():
+        print("  " + line)
+
+    # --- 3. A non-member host in E sends to the group. ---------------
+    sender = topology.domain("E").host("sensor")
+    report = internet.send(sender, session.group)
+    print(f"send from E: {report}")
+    for member in members:
+        status = "ok" if report.reached(member.domain) else "MISSED"
+        print(f"  delivery to {member.domain.name}: {status}")
+
+    # --- 4. G-RIB views demonstrate aggregation. ----------------------
+    for name in ("D", "C"):
+        size = internet.grib_size_at(topology.domain(name))
+        print(f"G-RIB size at {name}: {size} group route(s)")
+
+    # --- 5. Members leave; the tree tears down. -----------------------
+    for member in members:
+        internet.leave(member, session.group)
+    print("forwarding entries after leaves:",
+          internet.bgmp.forwarding_state_size())
+
+
+if __name__ == "__main__":
+    main()

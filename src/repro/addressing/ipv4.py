@@ -1,0 +1,69 @@
+"""IPv4 address arithmetic.
+
+Addresses are represented as plain 32-bit integers throughout the
+library; this module provides the conversions between integers and
+dotted-quad strings plus a few bit-level helpers used by the prefix
+machinery.
+"""
+
+from __future__ import annotations
+
+ADDRESS_BITS = 32
+MAX_ADDRESS = (1 << ADDRESS_BITS) - 1
+
+
+def parse_address(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer.
+
+    >>> parse_address("224.0.0.0")
+    3758096384
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_address(value: int) -> str:
+    """Format an integer as a dotted-quad IPv4 address.
+
+    >>> format_address(3758096384)
+    '224.0.0.0'
+    """
+    if not 0 <= value <= MAX_ADDRESS:
+        raise ValueError(f"address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def mask_bits(length: int) -> int:
+    """Return the integer netmask for a prefix of the given length.
+
+    >>> mask_bits(4) == 0xF0000000
+    True
+    """
+    if not 0 <= length <= ADDRESS_BITS:
+        raise ValueError(f"mask length out of range: {length}")
+    if length == 0:
+        return 0
+    return (MAX_ADDRESS << (ADDRESS_BITS - length)) & MAX_ADDRESS
+
+
+def is_multicast(value: int) -> bool:
+    """True if the address lies in 224.0.0.0/4 (the class-D space)."""
+    return (value >> 28) == 0b1110
+
+
+def bit_at(value: int, position: int) -> int:
+    """Return bit ``position`` of ``value``, counting from the most
+    significant bit (position 0) of a 32-bit address."""
+    if not 0 <= position < ADDRESS_BITS:
+        raise ValueError(f"bit position out of range: {position}")
+    return (value >> (ADDRESS_BITS - 1 - position)) & 1

@@ -1,0 +1,98 @@
+"""ASCII rendering of trees and hierarchies.
+
+Debug/teaching output for examples and reports: the BGMP shared tree
+of a group (as seen from the root domain), and the MASC allocation
+hierarchy with each domain's claimed ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.topology.domain import Domain
+
+
+def render_domain_tree(
+    root: Domain,
+    children_of: Callable[[Domain], List[Domain]],
+    label: Optional[Callable[[Domain], str]] = None,
+) -> str:
+    """Render a domain tree with box-drawing connectors.
+
+    ``children_of`` supplies each node's children; ``label`` overrides
+    the per-node text (defaults to the domain name).
+    """
+    if label is None:
+        label = lambda d: d.name  # noqa: E731
+    lines: List[str] = [label(root)]
+
+    def walk(node: Domain, prefix: str) -> None:
+        children = children_of(node)
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            connector = "`-- " if last else "|-- "
+            lines.append(prefix + connector + label(child))
+            extension = "    " if last else "|   "
+            walk(child, prefix + extension)
+
+    walk(root, "")
+    return "\n".join(lines)
+
+
+def render_bgmp_tree(network, group: int) -> str:
+    """The shared tree of a group as a domain tree rooted at the root
+    domain, derived from the (\\*,G) parent relationships."""
+    root = network.root_domain_of(group)
+    if root is None:
+        return "(no root domain for group)"
+    # Build child lists from each on-tree router's upstream pointer.
+    children: Dict[Domain, List[Domain]] = {}
+    seen = set()
+    for router in network.tree_routers(group):
+        bgmp = network.router_of(router)
+        entry = bgmp.table.get(group)
+        if entry is None or entry.upstream is None:
+            continue
+        parent_domain = entry.upstream.domain
+        child_domain = router.domain
+        if parent_domain == child_domain:
+            continue
+        key = (parent_domain, child_domain)
+        if key in seen:
+            continue
+        seen.add(key)
+        children.setdefault(parent_domain, []).append(child_domain)
+    for kids in children.values():
+        kids.sort(key=lambda d: d.domain_id)
+
+    def members_suffix(domain: Domain) -> str:
+        count = len(network.migp_of(domain).members_of(group))
+        return f"{domain.name} ({count} member{'s' if count != 1 else ''})" \
+            if count else domain.name
+
+    return render_domain_tree(
+        root,
+        children_of=lambda d: children.get(d, []),
+        label=members_suffix,
+    )
+
+
+def render_masc_hierarchy(internet) -> str:
+    """The MASC hierarchy of a :class:`MulticastInternet`, annotated
+    with each domain's claimed ranges."""
+    hierarchy = internet.hierarchy
+
+    def label(domain: Domain) -> str:
+        ranges = internet.claimed_ranges(domain)
+        if not ranges:
+            return domain.name
+        return f"{domain.name}  [{', '.join(str(p) for p in ranges)}]"
+
+    blocks = []
+    for top in hierarchy.top_level():
+        blocks.append(
+            render_domain_tree(
+                top, children_of=hierarchy.children, label=label
+            )
+        )
+    return "\n".join(blocks)

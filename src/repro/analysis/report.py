@@ -1,0 +1,45 @@
+"""Plain-text result rendering.
+
+The experiment drivers print their rows with :func:`format_table` so a
+bench run reproduces the series behind each figure as a readable table
+(numbers in the same units the paper plots).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    precision: int = 3,
+) -> str:
+    """Render rows as a fixed-width table.
+
+    Floats are formatted to ``precision`` digits; everything else via
+    ``str``.
+    """
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    text_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append(
+            "  ".join(text.rjust(widths[i]) for i, text in enumerate(row))
+        )
+    return "\n".join(lines)

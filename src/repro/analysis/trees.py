@@ -1,0 +1,353 @@
+"""Distribution-tree models for the Figure 4 comparison.
+
+Path lengths are inter-domain hop counts (the paper's metric). Four
+delivery models, as in section 5.4:
+
+- **shortest-path tree** (DVMRP / PIM-DM / MOSPF): each receiver gets
+  data along the (reverse) shortest path from the source,
+  ``d(source, receiver)``.
+- **unidirectional shared tree** (PIM-SM without the SPT switch): data
+  travels source -> root (RP) -> receiver,
+  ``d(source, root) + d(root, receiver)``.
+- **bidirectional shared tree** (CBT / BGMP): the tree is the union of
+  shortest paths receiver -> root; sender data enters at the first
+  on-tree node along its path towards the root and flows along the
+  tree.
+- **hybrid tree** (BGMP with source-specific branches): receivers may
+  graft a branch along their shortest path towards the source; the
+  branch stops at the first bidirectional-tree node or the source
+  domain (section 5.3), and the receiver takes the better delivery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from repro.topology.domain import Domain
+from repro.topology.network import Topology
+
+
+class GroupScenario:
+    """One multicast group for tree analysis: a root domain (the group
+    initiator's), receivers, and a source."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        root: Domain,
+        receivers: Sequence[Domain],
+        source: Domain,
+    ):
+        if not receivers:
+            raise ValueError("a group needs at least one receiver")
+        self.topology = topology
+        self.root = root
+        self.receivers = list(receivers)
+        self.source = source
+
+    @classmethod
+    def random(
+        cls,
+        topology: Topology,
+        rng,
+        group_size: int,
+    ) -> "GroupScenario":
+        """The paper's Figure 4 setup: random receivers, the group
+        rooted at the initiator's domain (the first member), and a
+        randomly selected source."""
+        receivers = rng.sample(topology.domains, group_size)
+        source = rng.choice(topology.domains)
+        return cls(topology, receivers[0], receivers, source)
+
+    @classmethod
+    def clustered(
+        cls,
+        topology: Topology,
+        rng,
+        group_size: int,
+        radius: int = 2,
+    ) -> "GroupScenario":
+        """A regionally clustered group: receivers drawn from a BFS
+        ball around a random centre (the radius grows if the ball is
+        too small), with the source inside the cluster.
+
+        Models regional sessions, where locality-blind root placement
+        (hashing, as in HPIM) hurts most.
+        """
+        center = rng.choice(topology.domains)
+        while True:
+            ball = [
+                d
+                for d in topology.domains
+                if topology.distance(center, d) <= radius
+            ]
+            if len(ball) >= group_size:
+                break
+            radius += 1
+        receivers = rng.sample(ball, group_size)
+        source = rng.choice(receivers)
+        return cls(topology, receivers[0], receivers, source)
+
+
+class BidirectionalTree:
+    """The bidirectional shared tree for a group: the union of the
+    shortest paths from every receiver to the root domain."""
+
+    def __init__(self, topology: Topology, root: Domain,
+                 receivers: Sequence[Domain]):
+        self.topology = topology
+        self.root = root
+        self._adjacency: Dict[Domain, set] = {root: set()}
+        parents = topology.shortest_path_tree(root)
+        for receiver in receivers:
+            node = receiver
+            while node is not root:
+                parent = parents[node]
+                self._adjacency.setdefault(node, set()).add(parent)
+                self._adjacency.setdefault(parent, set()).add(node)
+                node = parent
+
+    def __contains__(self, domain: Domain) -> bool:
+        return domain in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def nodes(self) -> List[Domain]:
+        """Domains on the tree."""
+        return sorted(self._adjacency, key=lambda d: d.domain_id)
+
+    def edge_count(self) -> int:
+        """Tree edges (inter-domain links carried by the tree)."""
+        return sum(len(v) for v in self._adjacency.values()) // 2
+
+    def distance(self, a: Domain, b: Domain) -> int:
+        """Hop count between two on-tree domains along the tree."""
+        if a not in self._adjacency or b not in self._adjacency:
+            raise ValueError("both endpoints must be on the tree")
+        if a is b:
+            return 0
+        seen = {a: 0}
+        queue = deque([a])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in seen:
+                    seen[neighbor] = seen[current] + 1
+                    if neighbor is b:
+                        return seen[neighbor]
+                    queue.append(neighbor)
+        raise RuntimeError("tree is disconnected")  # pragma: no cover
+
+    def path(self, a: Domain, b: Domain) -> List[Domain]:
+        """The (unique) on-tree path between two on-tree domains."""
+        if a not in self._adjacency or b not in self._adjacency:
+            raise ValueError("both endpoints must be on the tree")
+        if a is b:
+            return [a]
+        parents: Dict[Domain, Domain] = {a: a}
+        queue = deque([a])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in parents:
+                    parents[neighbor] = current
+                    if neighbor is b:
+                        queue.clear()
+                        break
+                    queue.append(neighbor)
+            else:
+                continue
+            break
+        walk = [b]
+        while walk[-1] is not a:
+            walk.append(parents[walk[-1]])
+        walk.reverse()
+        return walk
+
+    def entry_point(self, source: Domain) -> Domain:
+        """Where a sender's data reaches the tree: the first on-tree
+        node along the sender's shortest path towards the root."""
+        for node in self.topology.shortest_path(source, self.root):
+            if node in self._adjacency:
+                return node
+        return self.root  # pragma: no cover — the root is on the tree
+
+    def sender_distance(self, source: Domain, receiver: Domain) -> int:
+        """Hops from a sender to an on-tree receiver: the off-tree walk
+        to the entry point plus the on-tree path."""
+        entry = self.entry_point(source)
+        return (
+            self.topology.distance(source, entry)
+            + self.distance(entry, receiver)
+        )
+
+
+def shortest_path_lengths(scenario: GroupScenario) -> Dict[Domain, int]:
+    """Per-receiver hop counts on source-rooted shortest-path trees."""
+    return {
+        r: scenario.topology.distance(scenario.source, r)
+        for r in scenario.receivers
+    }
+
+
+def unidirectional_lengths(scenario: GroupScenario) -> Dict[Domain, int]:
+    """Per-receiver hop counts on a PIM-SM style unidirectional shared
+    tree: up to the root, then down to each receiver."""
+    topology = scenario.topology
+    up = topology.distance(scenario.source, scenario.root)
+    return {
+        r: up + topology.distance(scenario.root, r)
+        for r in scenario.receivers
+    }
+
+
+def bidirectional_lengths(
+    scenario: GroupScenario,
+    tree: Optional[BidirectionalTree] = None,
+) -> Dict[Domain, int]:
+    """Per-receiver hop counts on the BGMP/CBT bidirectional tree."""
+    if tree is None:
+        tree = BidirectionalTree(
+            scenario.topology, scenario.root, scenario.receivers
+        )
+    return {
+        r: tree.sender_distance(scenario.source, r)
+        for r in scenario.receivers
+    }
+
+
+def hybrid_lengths(
+    scenario: GroupScenario,
+    tree: Optional[BidirectionalTree] = None,
+) -> Dict[Domain, int]:
+    """Per-receiver hop counts on the hybrid tree: the bidirectional
+    tree plus a source-specific branch per receiver.
+
+    The branch follows the receiver's shortest path towards the source
+    and terminates at the source domain or the first on-tree node
+    (section 5.3); each receiver takes whichever delivery is shorter.
+    """
+    topology = scenario.topology
+    source = scenario.source
+    if tree is None:
+        tree = BidirectionalTree(topology, scenario.root, scenario.receivers)
+    shared = bidirectional_lengths(scenario, tree)
+    entry = tree.entry_point(source)
+    source_to_entry = topology.distance(source, entry)
+    lengths: Dict[Domain, int] = {}
+    for receiver in scenario.receivers:
+        # The receiver's shortest path towards the source (the join
+        # direction), walked away from the receiver.
+        towards_source = list(
+            reversed(topology.shortest_path(source, receiver))
+        )
+        branch_length: Optional[int] = None
+        for hops, node in enumerate(towards_source):
+            if node is source:
+                # Branch reaches the source domain: pure shortest path.
+                branch_length = hops
+                break
+            if hops > 0 and node in tree:
+                # Branch terminates on the bidirectional tree: data
+                # reaches the junction along the tree, then follows
+                # the branch down to the receiver.
+                branch_length = (
+                    source_to_entry + tree.distance(entry, node) + hops
+                )
+                break
+        if branch_length is None:  # pragma: no cover
+            branch_length = shared[receiver]
+        lengths[receiver] = min(shared[receiver], branch_length)
+    return lengths
+
+
+def root_transit_fraction(
+    scenario: GroupScenario,
+    kind: str = "bidirectional",
+    max_pairs: int = 200,
+    rng=None,
+) -> float:
+    """Third-party dependency metric (sections 3 and 5.2).
+
+    The fraction of member pairs whose delivery path transits the root
+    domain even though the root lies on neither member's side: 1.0 for
+    unidirectional shared trees by construction ("all packets go via
+    the root"), and much lower for bidirectional trees, where members
+    "can communicate with each other along the bidirectional tree
+    without depending on the quality of their connectivity to the root
+    domain".
+    """
+    if kind not in ("unidirectional", "bidirectional"):
+        raise ValueError(f"unknown tree kind {kind!r}")
+    members = [r for r in scenario.receivers if r is not scenario.root]
+    pairs = [
+        (a, b)
+        for i, a in enumerate(members)
+        for b in members[i + 1:]
+    ]
+    if not pairs:
+        return 0.0
+    if len(pairs) > max_pairs:
+        if rng is None:
+            import random as _random
+
+            rng = _random.Random(0)
+        pairs = rng.sample(pairs, max_pairs)
+    if kind == "unidirectional":
+        return 1.0
+    tree = BidirectionalTree(
+        scenario.topology, scenario.root, scenario.receivers
+    )
+    transits = sum(
+        1 for a, b in pairs if scenario.root in tree.path(a, b)
+    )
+    return transits / len(pairs)
+
+
+class PathLengthComparison:
+    """Aggregate ratios of one group's tree path lengths to the
+    shortest-path baseline (the quantities plotted in Figure 4)."""
+
+    def __init__(
+        self,
+        scenario: GroupScenario,
+        spt: Dict[Domain, int],
+        tree_lengths: Dict[Domain, int],
+    ):
+        self.scenario = scenario
+        ratios = []
+        for receiver, baseline in spt.items():
+            if baseline == 0:
+                continue
+            ratios.append(tree_lengths[receiver] / baseline)
+        self.ratios = ratios
+        spt_total = sum(v for v in spt.values() if v > 0)
+        tree_total = sum(
+            tree_lengths[r] for r, v in spt.items() if v > 0
+        )
+        self.average_ratio = (
+            tree_total / spt_total if spt_total else 1.0
+        )
+        self.max_ratio = max(ratios) if ratios else 1.0
+
+
+def compare_trees(scenario: GroupScenario) -> Dict[str, PathLengthComparison]:
+    """Figure 4's comparison for one group: unidirectional,
+    bidirectional, and hybrid trees against the shortest-path tree."""
+    tree = BidirectionalTree(
+        scenario.topology, scenario.root, scenario.receivers
+    )
+    spt = shortest_path_lengths(scenario)
+    return {
+        "unidirectional": PathLengthComparison(
+            scenario, spt, unidirectional_lengths(scenario)
+        ),
+        "bidirectional": PathLengthComparison(
+            scenario, spt, bidirectional_lengths(scenario, tree)
+        ),
+        "hybrid": PathLengthComparison(
+            scenario, spt, hybrid_lengths(scenario, tree)
+        ),
+    }

@@ -1,0 +1,30 @@
+"""The Border Gateway Multicast Protocol (BGMP).
+
+BGMP (section 5 of the paper) runs on domain border routers and builds
+*bidirectional shared trees* for inter-domain multicast groups, rooted
+at each group's root domain — the domain whose MASC-claimed address
+range covers the group address, located via the G-RIB. Data flows both
+ways along the tree; source-specific *branches* (not full trees) can be
+grafted where the shortest path to a heavy source diverges from the
+shared tree, primarily to stop data encapsulation inside DVMRP-like
+domains.
+
+Intra-domain multicast (the MIGP) is abstracted behind
+:mod:`repro.migp`; BGMP composes with any of its implementations.
+"""
+
+from repro.bgmp.entries import ForwardingEntry, ForwardingTable
+from repro.bgmp.targets import MigpTarget, PeerTarget, Target
+from repro.bgmp.router import BgmpRouter
+from repro.bgmp.network import BgmpNetwork, DeliveryReport
+
+__all__ = [
+    "ForwardingEntry",
+    "ForwardingTable",
+    "MigpTarget",
+    "PeerTarget",
+    "Target",
+    "BgmpRouter",
+    "BgmpNetwork",
+    "DeliveryReport",
+]

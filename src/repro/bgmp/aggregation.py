@@ -1,0 +1,119 @@
+"""Forwarding-state aggregation.
+
+Section 7 ("Scaling forwarding entries"): "BGMP has provisions for
+this by allowing (\\*,G-prefix) and (S-prefix, G-prefix) state to be
+stored at the routers wherever the list of targets are the same. Its
+effectiveness will depend on the location of the group members and
+sources to those groups."
+
+This module computes that aggregation for a router's forwarding table:
+entries with identical target lists (same parent, same children, same
+source qualifier) collapse into per-prefix entries covering their
+group addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.addressing.prefix import Prefix, coalesce
+from repro.bgmp.entries import ForwardingTable
+from repro.bgmp.targets import MigpTarget, PeerTarget, Target
+from repro.topology.domain import Domain
+
+
+def _target_key(target: Optional[Target]):
+    if target is None:
+        return ("none",)
+    if isinstance(target, PeerTarget):
+        return ("peer", target.router.domain.domain_id, target.router.name)
+    if isinstance(target, MigpTarget):
+        return ("migp", target.domain.domain_id)
+    raise TypeError(f"unknown target {target!r}")
+
+
+class AggregatedEntry:
+    """One (\\*,G-prefix) or (S-prefix,G-prefix) record: a set of group
+    prefixes sharing one target list."""
+
+    def __init__(
+        self,
+        prefixes: List[Prefix],
+        parent: Optional[Target],
+        children: List[Target],
+        source_domain: Optional[Domain],
+    ):
+        self.prefixes = prefixes
+        self.parent = parent
+        self.children = children
+        self.source_domain = source_domain
+
+    @property
+    def group_count(self) -> int:
+        """Number of /32 group addresses covered."""
+        return sum(p.size for p in self.prefixes)
+
+    def __repr__(self) -> str:
+        kind = (
+            f"({self.source_domain.name},G-prefix)"
+            if self.source_domain
+            else "(*,G-prefix)"
+        )
+        return (
+            f"AggregatedEntry{kind} "
+            f"prefixes={[str(p) for p in self.prefixes]} "
+            f"children={len(self.children)}"
+        )
+
+
+def aggregate_forwarding_state(
+    table: ForwardingTable,
+) -> List[AggregatedEntry]:
+    """Collapse a forwarding table into per-prefix entries.
+
+    Entries bucket by their full target signature; each bucket's group
+    addresses coalesce into minimal CIDR prefixes. The aggregated size
+    is ``sum(len(e.prefixes) for e in result)``.
+    """
+    buckets: Dict[Tuple, List] = {}
+    for entry in table.entries():
+        signature = (
+            _target_key(entry.parent),
+            tuple(sorted(_target_key(c) for c in entry.children)),
+            entry.source_domain.domain_id if entry.source_domain else None,
+        )
+        buckets.setdefault(signature, []).append(entry)
+    aggregated: List[AggregatedEntry] = []
+    for entries in buckets.values():
+        prefixes = coalesce(Prefix(e.group, 32) for e in entries)
+        sample = entries[0]
+        aggregated.append(
+            AggregatedEntry(
+                prefixes,
+                sample.parent,
+                list(sample.children),
+                sample.source_domain,
+            )
+        )
+    return aggregated
+
+
+def aggregated_size(table: ForwardingTable) -> int:
+    """Number of prefix records after aggregation (vs ``len(table)``
+    flat entries)."""
+    return sum(
+        len(entry.prefixes)
+        for entry in aggregate_forwarding_state(table)
+    )
+
+
+def network_state_sizes(network) -> Dict[str, int]:
+    """Flat vs aggregated forwarding-state totals for a
+    :class:`~repro.bgmp.network.BgmpNetwork`."""
+    flat = 0
+    aggregated = 0
+    for router in network.topology.routers():
+        table = network.router_of(router).table
+        flat += len(table)
+        aggregated += aggregated_size(table)
+    return {"flat": flat, "aggregated": aggregated}

@@ -1,0 +1,148 @@
+"""BGMP multicast forwarding state.
+
+A :class:`ForwardingEntry` is the paper's (\\*,G) / (S,G) record: a
+parent target (next hop towards the group's root domain, or towards the
+source for an (S,G) entry) plus child targets. The
+:class:`ForwardingTable` keys entries by group address and optional
+source domain, with the standard longest-state match: packets from
+source S prefer the (S,G) entry when one exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgmp.targets import Target
+from repro.topology.domain import Domain
+
+
+class ForwardingEntry:
+    """One (\\*,G) or (S,G) entry at a BGMP router."""
+
+    def __init__(
+        self,
+        group: int,
+        parent: Optional[Target],
+        source_domain: Optional[Domain] = None,
+    ):
+        self.group = group
+        self.parent = parent
+        self.source_domain = source_domain
+        self.children: List[Target] = []
+        #: The concrete router the join was propagated to (the best
+        #: exit router when the parent target is the MIGP component).
+        #: Used to prune the correct upstream after G-RIB changes.
+        self.upstream = None
+
+    @property
+    def is_source_specific(self) -> bool:
+        """True for (S,G) entries."""
+        return self.source_domain is not None
+
+    def add_child(self, target: Target) -> bool:
+        """Add a child target; False if already present."""
+        if target in self.children:
+            return False
+        self.children.append(target)
+        return True
+
+    def remove_child(self, target: Target) -> bool:
+        """Remove a child target; False if absent."""
+        if target not in self.children:
+            return False
+        self.children.remove(target)
+        return True
+
+    def targets(self) -> List[Target]:
+        """Parent plus children — the full target list."""
+        found: List[Target] = []
+        if self.parent is not None:
+            found.append(self.parent)
+        found.extend(self.children)
+        return found
+
+    def outputs_for(self, arrived_from: Optional[Target]) -> List[Target]:
+        """Bidirectional forwarding rule: every target except the one
+        the packet arrived from.
+
+        A source-specific entry with no children is a *negative*
+        (prune) entry — the source's packets stop here instead of
+        continuing along the shared tree (section 5.3's prune-back).
+        """
+        if self.is_source_specific and not self.children:
+            return []
+        return [t for t in self.targets() if t != arrived_from]
+
+    def has_target(self, target: Target) -> bool:
+        """True if ``target`` is the parent or a child."""
+        return target in self.targets()
+
+    def __repr__(self) -> str:
+        kind = (
+            f"({self.source_domain.name},G)"
+            if self.source_domain
+            else "(*,G)"
+        )
+        return (
+            f"ForwardingEntry{kind} group={self.group:#x} "
+            f"parent={self.parent!r} children={self.children!r}"
+        )
+
+
+class ForwardingTable:
+    """All BGMP forwarding entries at one border router."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, Optional[Domain]], ForwardingEntry] = {}
+
+    def get(
+        self, group: int, source_domain: Optional[Domain] = None
+    ) -> Optional[ForwardingEntry]:
+        """Exact lookup of a (\\*,G) or (S,G) entry."""
+        return self._entries.get((group, source_domain))
+
+    def match(
+        self, group: int, source_domain: Optional[Domain] = None
+    ) -> Optional[ForwardingEntry]:
+        """Forwarding lookup: prefer (S,G) over (\\*,G)."""
+        if source_domain is not None:
+            specific = self._entries.get((group, source_domain))
+            if specific is not None:
+                return specific
+        return self._entries.get((group, None))
+
+    def create(
+        self,
+        group: int,
+        parent: Optional[Target],
+        source_domain: Optional[Domain] = None,
+    ) -> ForwardingEntry:
+        """Create (or return the existing) entry."""
+        key = (group, source_domain)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = ForwardingEntry(group, parent, source_domain)
+            self._entries[key] = entry
+        return entry
+
+    def remove(
+        self, group: int, source_domain: Optional[Domain] = None
+    ) -> bool:
+        """Drop an entry; False if absent."""
+        return self._entries.pop((group, source_domain), None) is not None
+
+    def entries(self) -> List[ForwardingEntry]:
+        """All entries."""
+        return list(self._entries.values())
+
+    def groups(self) -> List[int]:
+        """Distinct group addresses with any state."""
+        return sorted({group for group, _ in self._entries})
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        if isinstance(key, tuple):
+            return key in self._entries
+        return (key, None) in self._entries

@@ -1,0 +1,445 @@
+"""Network-wide BGMP: membership, data delivery, reporting.
+
+:class:`BgmpNetwork` composes a topology, a converged BGP substrate,
+per-domain MIGP components, and one :class:`BgmpRouter` per border
+router, and exposes the host-level multicast service: join, leave,
+send. Sending returns a :class:`DeliveryReport` describing exactly
+where the packet went — the unit tests' window into the data plane.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.addressing.prefix import Prefix
+from repro.bgmp.router import BgmpRouter
+from repro.bgmp.targets import MigpTarget
+from repro.bgp.network import BgpNetwork
+from repro.bgp.routes import Route, RouteType
+from repro.migp import make_migp
+from repro.migp.base import MigpComponent
+from repro.topology.domain import BorderRouter, Domain, Host
+from repro.topology.network import Topology
+
+
+class DeliveryReport:
+    """Everything one multicast packet did."""
+
+    def __init__(self) -> None:
+        self.deliveries: Dict[Domain, int] = {}
+        self.external_hops = 0
+        self.migp_transits = 0
+        self.encapsulations = 0
+        self.decapsulations: List[Tuple[BorderRouter, BorderRouter]] = []
+        self.dropped = 0
+        self.duplicates = 0
+        self._visited_routers: Set[BorderRouter] = set()
+        self._visited_migps: Set[Domain] = set()
+
+    def visit(self, router: BorderRouter) -> bool:
+        """Record a router visit; False (and a duplicate count) when
+        the router already processed this packet."""
+        if router in self._visited_routers:
+            self.duplicates += 1
+            return False
+        self._visited_routers.add(router)
+        return True
+
+    def visit_migp(self, domain: Domain) -> bool:
+        """Record a domain-interior injection; one per packet."""
+        if domain in self._visited_migps:
+            return False
+        self._visited_migps.add(domain)
+        return True
+
+    def deliver(self, domain: Domain, member_count: int) -> None:
+        """Record member deliveries inside a domain."""
+        if member_count:
+            self.deliveries[domain] = (
+                self.deliveries.get(domain, 0) + member_count
+            )
+
+    @property
+    def total_deliveries(self) -> int:
+        """Members reached, network-wide."""
+        return sum(self.deliveries.values())
+
+    def reached(self, domain: Domain) -> bool:
+        """True when any member in ``domain`` got the packet."""
+        return self.deliveries.get(domain, 0) > 0
+
+    def visited_routers(self) -> Set[BorderRouter]:
+        """Routers that processed the packet."""
+        return set(self._visited_routers)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeliveryReport(deliveries={self.total_deliveries}, "
+            f"hops={self.external_hops}, migp={self.migp_transits}, "
+            f"encap={self.encapsulations}, dup={self.duplicates}, "
+            f"dropped={self.dropped})"
+        )
+
+
+class JoinOutcome:
+    """What one join cost (see :meth:`BgmpNetwork.join_measured`)."""
+
+    __slots__ = ("joined", "new_routers", "latency")
+
+    def __init__(self, joined: bool, new_routers, latency: float):
+        self.joined = joined
+        self.new_routers = new_routers
+        self.latency = latency
+
+    @property
+    def branch_length(self) -> int:
+        """Border routers the join added to the tree."""
+        return len(self.new_routers)
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinOutcome(joined={self.joined}, "
+            f"branch={self.branch_length}, latency={self.latency})"
+        )
+
+
+def _default_migp_selector(domain: Domain) -> str:
+    """DVMRP in multi-router domains (the paper's running example),
+    direct delivery in single-router stubs."""
+    return "dvmrp" if len(domain.routers) > 1 else "static"
+
+
+class BgmpNetwork:
+    """The assembled inter-domain multicast system."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        bgp: Optional[BgpNetwork] = None,
+        migp_selector: Optional[Callable[[Domain], str]] = None,
+        auto_unicast: bool = True,
+        auto_source_branches: bool = False,
+    ):
+        #: Section 5.3's data-driven option: when a delivery had to be
+        #: encapsulated (dense-mode RPF mismatch), the decapsulating
+        #: border router grafts an (S,G) branch towards the source and
+        #: prunes the shared-tree copy, so subsequent packets arrive
+        #: natively.
+        self.auto_source_branches = auto_source_branches
+        self.topology = topology
+        self.bgp = bgp if bgp is not None else BgpNetwork(topology)
+        selector = migp_selector or _default_migp_selector
+        self._migps: Dict[Domain, MigpComponent] = {}
+        self._routers: Dict[BorderRouter, BgmpRouter] = {}
+        for domain in topology.domains:
+            self._migps[domain] = make_migp(
+                selector(domain), domain,
+                unicast_resolver=self._rpf_resolver,
+            )
+            for router in domain.routers.values():
+                self._routers[router] = BgmpRouter(router, self)
+        if auto_unicast:
+            self._originate_unicast()
+
+    # ------------------------------------------------------------------
+    # Substrate wiring
+
+    @staticmethod
+    def domain_unicast_prefix(domain: Domain) -> Prefix:
+        """The synthetic unicast prefix standing in for a domain's
+        networks (one /24 out of 10/8 per domain id)."""
+        if domain.domain_id >= 1 << 16:
+            raise ValueError("domain id too large for the 10/8 plan")
+        network = (10 << 24) | (domain.domain_id << 8)
+        return Prefix(network, 24)
+
+    def _originate_unicast(self) -> None:
+        for domain in self.topology.domains:
+            prefix = self.domain_unicast_prefix(domain)
+            self.bgp.originate_from_domain(
+                domain, prefix, RouteType.UNICAST
+            )
+            # The multicast-topology view of the same reachability
+            # (BGP multiprotocol extensions, section 2): used for RPF
+            # and source-specific joins so multicast works even where
+            # the two topologies diverge.
+            self.bgp.originate_from_domain(
+                domain, prefix, RouteType.MRIB
+            )
+
+    def converge(self) -> int:
+        """Converge the BGP substrate (after originations change)."""
+        return self.bgp.converge()
+
+    def refresh_trees(self, max_rounds: int = 10) -> int:
+        """Re-anchor every (\\*,G) entry after G-RIB changes.
+
+        Needed when the best group route moves under existing trees —
+        e.g. a child domain injects a more specific range (the group's
+        root domain changes from the parent to the child, the paper's
+        "addresses could be obtained from the parent's address space"
+        case) or a route is withdrawn. Iterates until stable; returns
+        the number of parent migrations performed.
+        """
+        migrations = 0
+        for _ in range(max_rounds):
+            changed = 0
+            for bgmp in list(self._routers.values()):
+                for group in list(bgmp.table.groups()):
+                    if bgmp.table.get(group) is None:
+                        continue
+                    if bgmp.update_parent(group):
+                        changed += 1
+            migrations += changed
+            if not changed:
+                return migrations
+        raise RuntimeError("tree refresh did not stabilise")
+
+    def router_of(self, router: BorderRouter) -> BgmpRouter:
+        """The BGMP component of a border router."""
+        return self._routers[router]
+
+    def migp_of(self, domain: Domain) -> MigpComponent:
+        """The MIGP component of a domain."""
+        return self._migps[domain]
+
+    def unicast_route(
+        self, router: BorderRouter, target_domain: Domain
+    ) -> Optional[Route]:
+        """Best route towards a domain for multicast purposes.
+
+        Uses the M-RIB view (section 2): RPF checks and
+        source-specific joins must follow the *multicast* topology,
+        falling back to the unicast view only when no M-RIB route
+        exists.
+        """
+        prefix = self.domain_unicast_prefix(target_domain)
+        speaker = self.bgp.speaker(router)
+        route = speaker.loc_rib.lookup(RouteType.MRIB, prefix.network)
+        if route is not None:
+            return route
+        return speaker.loc_rib.lookup(
+            RouteType.UNICAST, prefix.network
+        )
+
+    def _rpf_resolver(
+        self, domain: Domain, source_domain: Domain
+    ) -> Optional[BorderRouter]:
+        """The border router of ``domain`` on the best unicast path to
+        ``source_domain`` (interior RPF checks point at it)."""
+        for router in sorted(domain.routers.values(), key=lambda r: r.name):
+            route = self.unicast_route(router, source_domain)
+            if route is None:
+                continue
+            if route.is_local_origin:
+                return None
+            if route.from_internal:
+                return route.next_hop
+            return router
+        return None
+
+    # ------------------------------------------------------------------
+    # Group origination (MASC hand-off)
+
+    def originate_group_range(
+        self, domain: Domain, prefix: Prefix
+    ) -> None:
+        """Inject a MASC-claimed range as a group route (making
+        ``domain`` the root domain for covered groups)."""
+        self.bgp.originate_from_domain(domain, prefix, RouteType.GROUP)
+
+    def root_domain_of(self, group: int) -> Optional[Domain]:
+        """The group's root domain per the injected group routes."""
+        return self.bgp.root_domain_of(group)
+
+    # ------------------------------------------------------------------
+    # Host-level service
+
+    def join(self, host: Host, group: int) -> bool:
+        """A host joins a group: the domain MIGP learns the member and
+        (for non-root domains) the best exit router's BGMP component
+        receives a join request (section 5's join flow)."""
+        domain = host.domain
+        migp = self.migp_of(domain)
+        migp.add_member(host, group)
+        best_exit = self.best_exit_router(domain, group)
+        if best_exit is None:
+            return False
+        route = self.bgp.speaker(best_exit).next_hop_for_group(group)
+        if route is None:
+            return False
+        if route.is_local_origin:
+            # Root domain: membership is purely an MIGP matter until
+            # an external join arrives.
+            return True
+        return self.router_of(best_exit).join(group, MigpTarget(domain))
+
+    def join_measured(
+        self,
+        host: Host,
+        group: int,
+        per_hop_delay: float = 0.05,
+    ) -> "JoinOutcome":
+        """Join and report the cost: how many border routers the join
+        instantiated state at (the new branch) and the implied latency
+        (branch length x per-hop control delay over the TCP peerings).
+
+        Grafting onto a nearby tree is fast; the first member in a
+        region pays the full walk towards the root domain.
+        """
+        before = set(self.tree_routers(group))
+        joined = self.join(host, group)
+        after = set(self.tree_routers(group))
+        new_routers = sorted(
+            (r for r in after - before),
+            key=lambda r: (r.domain.domain_id, r.name),
+        )
+        return JoinOutcome(
+            joined=joined,
+            new_routers=new_routers,
+            latency=len(new_routers) * per_hop_delay,
+        )
+
+    def leave(self, host: Host, group: int) -> None:
+        """A host leaves; when the domain's last member goes, the MIGP
+        notifies every border router whose interior branch no longer
+        serves anyone, and the prunes propagate up the tree."""
+        domain = host.domain
+        migp = self.migp_of(domain)
+        migp.remove_member(host, group)
+        if migp.has_members(group):
+            return
+        # A border router's MIGP child target is still needed when some
+        # *other* border router of the domain reaches its own parent
+        # through the interior via this router (transit), even with no
+        # local members left.
+        for router in sorted(domain.routers.values(), key=lambda r: r.name):
+            bgmp = self.router_of(router)
+            entry = bgmp.table.get(group)
+            if entry is None or MigpTarget(domain) not in entry.children:
+                continue
+            if self.interior_transit_needed(domain, group, router):
+                continue
+            bgmp.prune(group, MigpTarget(domain))
+
+    def interior_transit_needed(
+        self, domain: Domain, group: int, via: BorderRouter
+    ) -> bool:
+        """True when another border router of ``domain`` parents its
+        (\\*,G) entry through the interior at ``via``."""
+        for other in domain.routers.values():
+            if other == via:
+                continue
+            entry = self.router_of(other).table.get(group)
+            if entry is None:
+                continue
+            if (
+                isinstance(entry.parent, MigpTarget)
+                and entry.upstream == via
+            ):
+                return True
+        return False
+
+    def best_exit_router(
+        self, domain: Domain, group: int
+    ) -> Optional[BorderRouter]:
+        """The domain's best exit router for a group: the router whose
+        chosen group route is external (or locally originated)."""
+        for router in sorted(domain.routers.values(), key=lambda r: r.name):
+            route = self.bgp.speaker(router).next_hop_for_group(group)
+            if route is None:
+                continue
+            if route.is_local_origin or not route.from_internal:
+                return router
+        return None
+
+    def send(self, host: Host, group: int) -> DeliveryReport:
+        """Send one packet from a (not necessarily member) host.
+
+        Models the paper's sender path: the packet reaches local
+        members and the domain's border routers through the MIGP; an
+        on-tree domain forwards along the bidirectional tree, an
+        off-tree domain forwards towards the root domain.
+        """
+        report = DeliveryReport()
+        domain = host.domain
+        migp = self.migp_of(domain)
+        report.visit_migp(domain)
+        result = migp.inject(group, None, domain)
+        report.deliver(domain, result.local_members)
+        if result.forward_routers:
+            for router in result.forward_routers:
+                report.migp_transits += 1
+                self.router_of(router).receive(
+                    group, domain, MigpTarget(domain), report
+                )
+            self._maybe_graft_branches(group, domain, report)
+            return report
+        best_exit = self.best_exit_router(domain, group)
+        if best_exit is None:
+            report.dropped += 1
+            return report
+        report.migp_transits += 1
+        self.router_of(best_exit).receive(
+            group, domain, MigpTarget(domain), report
+        )
+        self._maybe_graft_branches(group, domain, report)
+        return report
+
+    def _maybe_graft_branches(
+        self, group: int, source_domain: Domain, report: DeliveryReport
+    ) -> None:
+        """Data-driven source-specific branches (section 5.3): every
+        encapsulation observed on this delivery makes the decapsulating
+        router graft towards the source and prune the shared-tree copy
+        at the entry router."""
+        if not self.auto_source_branches:
+            return
+        for entry_router, decap_router in report.decapsulations:
+            self.establish_source_branch(
+                decap_router,
+                group,
+                source_domain,
+                prune_shared_at=entry_router,
+            )
+
+    # ------------------------------------------------------------------
+    # Source-specific branches
+
+    def establish_source_branch(
+        self,
+        router: BorderRouter,
+        group: int,
+        source_domain: Domain,
+        prune_shared_at: Optional[BorderRouter] = None,
+    ) -> bool:
+        """Graft an (S,G) branch at ``router`` towards the source and
+        optionally prune the now-redundant shared-tree delivery (the
+        paper's F2/F1 sequence)."""
+        grafted = self.router_of(router).join_source(
+            group, source_domain, MigpTarget(router.domain)
+        )
+        if grafted and prune_shared_at is not None:
+            self.router_of(prune_shared_at).prune_source(
+                group, source_domain, MigpTarget(prune_shared_at.domain)
+            )
+        return grafted
+
+    # ------------------------------------------------------------------
+    # Reporting
+
+    def forwarding_state_size(self) -> int:
+        """Total BGMP forwarding entries network-wide (the scaling
+        metric of section 3)."""
+        return sum(len(r.table) for r in self._routers.values())
+
+    def tree_routers(self, group: int) -> List[BorderRouter]:
+        """Border routers holding (\\*,G) state for a group."""
+        return sorted(
+            (
+                bgmp.router
+                for bgmp in self._routers.values()
+                if bgmp.table.get(group) is not None
+            ),
+            key=lambda r: (r.domain.domain_id, r.name),
+        )

@@ -1,0 +1,37 @@
+"""BGP UPDATE messages.
+
+Used by the event-driven session engine: each UPDATE carries the
+announcements and withdrawals one speaker sends a peer at one instant
+(the synchronous engine models the steady state directly and does not
+need explicit messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.addressing.prefix import Prefix
+from repro.bgp.routes import Route, RouteType
+
+
+@dataclass
+class UpdateMessage:
+    """One BGP UPDATE: routes announced and (type, prefix) pairs
+    withdrawn."""
+
+    announcements: List[Route] = field(default_factory=list)
+    withdrawals: List[Tuple[RouteType, Prefix]] = field(
+        default_factory=list
+    )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when there is nothing to send."""
+        return not self.announcements and not self.withdrawals
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateMessage(+{len(self.announcements)}, "
+            f"-{len(self.withdrawals)})"
+        )

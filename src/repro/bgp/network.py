@@ -1,0 +1,277 @@
+"""Network-wide BGP: sessions, propagation, convergence.
+
+:class:`BgpNetwork` instantiates one speaker per border router, wires
+external sessions along every inter-domain link and an iBGP full mesh
+inside each domain, and drives synchronous update rounds until every
+Loc-RIB is stable. Aggregation of covered customer group routes
+(section 4.3.2 of the paper) is applied at the domain's external
+border.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.addressing.prefix import Prefix
+from repro.bgp.policy import (
+    ExportPolicy,
+    GaoRexfordPolicy,
+    preference_for,
+)
+from repro.bgp.routes import Route, RouteType
+from repro.bgp.speaker import BgpSpeaker
+from repro.topology.domain import BorderRouter, Domain
+from repro.topology.network import Topology
+
+
+class ConvergenceError(Exception):
+    """Raised when BGP fails to stabilise within the round budget."""
+
+
+class BgpNetwork:
+    """All BGP speakers of a topology plus the propagation engine."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        policy: Optional[ExportPolicy] = None,
+        aggregate: bool = True,
+    ):
+        self.topology = topology
+        self.policy = policy if policy is not None else GaoRexfordPolicy()
+        self.aggregate = aggregate
+        self.speakers: Dict[BorderRouter, BgpSpeaker] = {}
+        for router in topology.routers():
+            self.speakers[router] = BgpSpeaker(router)
+
+    # ------------------------------------------------------------------
+    # Origination
+
+    def speaker(self, router: BorderRouter) -> BgpSpeaker:
+        """The speaker for ``router`` (created lazily for routers added
+        after construction)."""
+        found = self.speakers.get(router)
+        if found is None:
+            found = BgpSpeaker(router)
+            self.speakers[router] = found
+        return found
+
+    def originate(
+        self,
+        router: BorderRouter,
+        prefix: Prefix,
+        route_type: RouteType = RouteType.GROUP,
+    ) -> Route:
+        """Originate a route at a specific border router."""
+        return self.speaker(router).originate(prefix, route_type)
+
+    def originate_from_domain(
+        self,
+        domain: Domain,
+        prefix: Prefix,
+        route_type: RouteType = RouteType.GROUP,
+    ) -> Route:
+        """Originate at the domain's first border router.
+
+        Matches section 4.2: a MASC node sends its acquired range to the
+        domain's border routers, which inject it into BGP; with iBGP
+        redistribution the single injection point is equivalent.
+        """
+        return self.originate(domain.router(), prefix, route_type)
+
+    def withdraw(
+        self,
+        router: BorderRouter,
+        prefix: Prefix,
+        route_type: RouteType = RouteType.GROUP,
+    ) -> bool:
+        """Withdraw a locally-originated route."""
+        return self.speaker(router).withdraw_origin(prefix, route_type)
+
+    def domain_origins(
+        self, domain: Domain, route_type: RouteType = RouteType.GROUP
+    ) -> List[Prefix]:
+        """All prefixes of the given type originated inside ``domain``."""
+        found: List[Prefix] = []
+        for router in domain.routers.values():
+            for route in self.speaker(router).origins():
+                if route.route_type is route_type:
+                    found.append(route.prefix)
+        return sorted(set(found))
+
+    # ------------------------------------------------------------------
+    # Propagation
+
+    def converge(self, max_rounds: int = 200) -> int:
+        """Run synchronous update rounds to a fixed point.
+
+        Each round: every speaker recomputes its Loc-RIB, then every
+        directed session carries the exporter's full filtered
+        advertisement set (wholesale Adj-RIB-In replacement models
+        implicit withdrawal). Returns the number of rounds used.
+        """
+        ordered = [self.speakers[r] for r in self._ordered_routers()]
+        for speaker in ordered:
+            speaker.recompute()
+        for round_index in range(1, max_rounds + 1):
+            exports = [
+                (speaker, self._session_exports(speaker))
+                for speaker in ordered
+            ]
+            for speaker, per_peer in exports:
+                for peer, routes in per_peer.items():
+                    if peer.domain != speaker.domain:
+                        routes = self._localize(peer.domain, speaker.domain,
+                                                routes)
+                    self.speakers[peer].replace_session_routes(
+                        speaker.router, routes
+                    )
+            changed = False
+            for speaker in ordered:
+                if speaker.recompute():
+                    changed = True
+            if not changed:
+                return round_index
+        raise ConvergenceError(
+            f"BGP did not converge within {max_rounds} rounds"
+        )
+
+    def _ordered_routers(self) -> List[BorderRouter]:
+        ordered: List[BorderRouter] = []
+        for domain in self.topology.domains:
+            ordered.extend(
+                domain.routers[name] for name in sorted(domain.routers)
+            )
+        # Include speakers for routers created after construction.
+        known = set(ordered)
+        ordered.extend(r for r in self.speakers if r not in known)
+        return ordered
+
+    def _session_exports(
+        self, speaker: BgpSpeaker
+    ) -> Dict[BorderRouter, List[Route]]:
+        """Advertisements this speaker sends on each session this round."""
+        per_peer: Dict[BorderRouter, List[Route]] = {}
+        domain = speaker.domain
+        own_prefixes = self._own_prefixes_by_type(domain)
+        best_routes = speaker.loc_rib.routes()
+        for peer in speaker.router.external_neighbors:
+            relationship = domain.relationship_to(peer.domain)
+            multicast_ok = self.topology.multicast_capable(
+                speaker.router, peer
+            )
+            advertised: List[Route] = []
+            for route in best_routes:
+                # Unicast-only links carry no multicast routing state:
+                # group and M-RIB routes detour around them, making the
+                # multicast topology incongruent with the unicast one
+                # (sections 2-3 of the paper).
+                if not multicast_ok and route.route_type in (
+                    RouteType.GROUP,
+                    RouteType.MRIB,
+                ):
+                    continue
+                if not self.policy.allows(
+                    domain, route, route.learned_from, relationship
+                ):
+                    continue
+                if self.aggregate and self._covered_by_own(
+                    domain, route, own_prefixes
+                ):
+                    continue
+                advertised.append(
+                    route.advertised_by(speaker.router)
+                )
+            per_peer[peer] = advertised
+        for internal in speaker.router.internal_peers():
+            advertised = [
+                route.advertised_by(speaker.router, internal=True)
+                for route in best_routes
+                if not route.from_internal
+            ]
+            per_peer[internal] = advertised
+        return per_peer
+
+    def _own_prefixes_by_type(
+        self, domain: Domain
+    ) -> Dict[RouteType, List[Prefix]]:
+        found: Dict[RouteType, List[Prefix]] = {}
+        for router in domain.routers.values():
+            for route in self.speaker(router).origins():
+                found.setdefault(route.route_type, []).append(route.prefix)
+        return found
+
+    def _covered_by_own(
+        self,
+        domain: Domain,
+        route: Route,
+        own_prefixes: Dict[RouteType, List[Prefix]],
+    ) -> bool:
+        """True when a learned route is subsumed by one of the domain's
+        own originated prefixes, so the aggregate makes propagating the
+        specific unnecessary (section 4.3.2)."""
+        if route.is_local_origin:
+            return False
+        for prefix in own_prefixes.get(route.route_type, ()):
+            if prefix != route.prefix and prefix.contains(route.prefix):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Delivery: receiver-side route construction
+
+    def _localize(
+        self,
+        receiver: Domain,
+        sender: Domain,
+        routes: List[Route],
+    ) -> List[Route]:
+        """Rewrite externally-advertised routes into receiver-relative
+        form: local_pref and learned_from reflect the receiver's
+        relationship to the sending domain (customer routes preferred).
+        """
+        relationship = receiver.relationship_to(sender)
+        preference = preference_for(relationship)
+        return [
+            Route(
+                route.prefix,
+                route.route_type,
+                route.next_hop,
+                route.as_path,
+                local_pref=preference,
+                from_internal=False,
+                learned_from=relationship,
+            )
+            for route in routes
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def grib_of(self, router: BorderRouter) -> List[Route]:
+        """The G-RIB at a router."""
+        return self.speaker(router).grib_routes()
+
+    def grib_size(self, router: BorderRouter) -> int:
+        """Number of group routes at a router."""
+        return self.speaker(router).grib_size()
+
+    def group_next_hop(
+        self, router: BorderRouter, group_address: int
+    ) -> Optional[Route]:
+        """The router's best group route covering ``group_address``."""
+        return self.speaker(router).next_hop_for_group(group_address)
+
+    def root_domain_of(self, group_address: int) -> Optional[Domain]:
+        """The domain originating the most specific group route covering
+        the address, network-wide (the group's root domain)."""
+        best: Optional[Tuple[int, Domain]] = None
+        for speaker in self.speakers.values():
+            for route in speaker.origins():
+                if route.route_type is not RouteType.GROUP:
+                    continue
+                if route.prefix.contains_address(group_address):
+                    entry = (route.prefix.length, speaker.domain)
+                    if best is None or entry[0] > best[0]:
+                        best = entry
+        return best[1] if best else None

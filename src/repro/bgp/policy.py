@@ -1,0 +1,111 @@
+"""Export policies.
+
+The paper realises multicast policy "through selective propagation of
+the group routes in BGP ... the same as that used for unicast routing
+policy expression" (sections 2 and 4.2). The canonical unicast policy
+is the provider/customer (Gao-Rexford) rule set: a domain advertises
+its own and its customers' routes to everyone, but routes learned from
+providers or peers only to its customers — so only traffic to/from
+customers transits the domain.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.bgp.routes import Route
+from repro.topology.domain import Domain
+
+#: local_pref values by the relationship a route was learned over.
+PREF_CUSTOMER = 300
+PREF_PEER = 200
+PREF_PROVIDER = 100
+
+
+def preference_for(relationship: str) -> int:
+    """local_pref assigned to routes learned over ``relationship``
+    ("customer" routes are preferred, then "peer", then "provider";
+    unknown relationships rank with peers)."""
+    if relationship == "customer":
+        return PREF_CUSTOMER
+    if relationship == "provider":
+        return PREF_PROVIDER
+    return PREF_PEER
+
+
+class ExportPolicy:
+    """Decides which best routes a speaker advertises to which peer.
+
+    ``allows`` sees the route, the relationship of the *advertising*
+    domain to the domain the route was learned from ("origin" for
+    locally-originated routes), and its relationship to the peer being
+    exported to.
+    """
+
+    def allows(
+        self,
+        domain: Domain,
+        route: Route,
+        learned_from: str,
+        exporting_to: str,
+    ) -> bool:
+        """True if the route may be advertised. Subclasses override."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable policy name for reports."""
+        return type(self).__name__
+
+
+class PromiscuousPolicy(ExportPolicy):
+    """Advertise every best route to every peer (no policy)."""
+
+    def allows(self, domain, route, learned_from, exporting_to):
+        return True
+
+
+class GaoRexfordPolicy(ExportPolicy):
+    """The standard valley-free transit policy.
+
+    Own and customer-learned routes go to everyone; provider- and
+    peer-learned routes go only to customers. This is exactly the
+    selective propagation the paper proposes for group routes: "a
+    provider domain could restrict the use of its resources by
+    advertising only the group routes pertaining to its claimed address
+    ranges and propagating only those group routes received from its
+    customer domains" (section 4.2).
+    """
+
+    def allows(self, domain, route, learned_from, exporting_to):
+        if learned_from in ("origin", "customer"):
+            return True
+        return exporting_to == "customer"
+
+
+class RouteFilterPolicy(ExportPolicy):
+    """Wrap a base policy with an arbitrary per-route predicate.
+
+    Used to express bespoke restrictions (e.g. "do not advertise group
+    routes for this range to that neighbour"), composing with the
+    underlying transit policy.
+    """
+
+    def __init__(
+        self,
+        base: ExportPolicy,
+        predicate: Callable[[Domain, Route, str, str], bool],
+        name: Optional[str] = None,
+    ):
+        self._base = base
+        self._predicate = predicate
+        self._name = name
+
+    def allows(self, domain, route, learned_from, exporting_to):
+        if not self._base.allows(domain, route, learned_from, exporting_to):
+            return False
+        return self._predicate(domain, route, learned_from, exporting_to)
+
+    def describe(self) -> str:
+        if self._name:
+            return f"{self._base.describe()}+{self._name}"
+        return f"{self._base.describe()}+filter"

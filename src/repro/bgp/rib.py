@@ -1,0 +1,106 @@
+"""Routing information bases.
+
+Each speaker keeps one :class:`AdjRibIn` per peering session (the routes
+that peer advertised) and one :class:`LocRib` (the selected best route
+per (type, prefix) after the decision process). The G-RIB of the paper
+is the Loc-RIB filtered to :attr:`RouteType.GROUP` with longest-match
+lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.addressing.prefix import Prefix
+from repro.bgp.routes import Route, RouteType
+from repro.topology.domain import BorderRouter
+
+
+class AdjRibIn:
+    """Routes received from one peer, keyed by (type, prefix)."""
+
+    def __init__(self, peer: BorderRouter):
+        self.peer = peer
+        self._routes: Dict[Tuple[RouteType, Prefix], Route] = {}
+
+    def update(self, route: Route) -> None:
+        """Install or replace the peer's route for its (type, prefix)."""
+        self._routes[route.key()] = route
+
+    def withdraw(self, route_type: RouteType, prefix: Prefix) -> bool:
+        """Remove the peer's route; True if one was present."""
+        return self._routes.pop((route_type, prefix), None) is not None
+
+    def routes(self) -> List[Route]:
+        """All routes from this peer."""
+        return list(self._routes.values())
+
+    def get(self, route_type: RouteType, prefix: Prefix) -> Optional[Route]:
+        """The peer's route for (type, prefix), if any."""
+        return self._routes.get((route_type, prefix))
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def snapshot(self) -> Dict[Tuple[RouteType, Prefix], Route]:
+        """A copy of the table (used by convergence checks)."""
+        return dict(self._routes)
+
+
+class LocRib:
+    """Selected best routes, one per (type, prefix)."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[Tuple[RouteType, Prefix], Route] = {}
+
+    def install(self, route: Route) -> None:
+        """Install the winning route for its (type, prefix)."""
+        self._routes[route.key()] = route
+
+    def remove(self, route_type: RouteType, prefix: Prefix) -> bool:
+        """Drop the entry; True if one was present."""
+        return self._routes.pop((route_type, prefix), None) is not None
+
+    def get(self, route_type: RouteType, prefix: Prefix) -> Optional[Route]:
+        """Exact-prefix lookup."""
+        return self._routes.get((route_type, prefix))
+
+    def routes(self, route_type: Optional[RouteType] = None) -> List[Route]:
+        """All routes, optionally filtered by type, sorted by prefix."""
+        found = [
+            route
+            for route in self._routes.values()
+            if route_type is None or route.route_type is route_type
+        ]
+        return sorted(found, key=lambda r: r.prefix)
+
+    def group_routes(self) -> List[Route]:
+        """The G-RIB: all group routes, sorted by prefix."""
+        return self.routes(RouteType.GROUP)
+
+    def lookup(self, route_type: RouteType, address: int) -> Optional[Route]:
+        """Longest-prefix-match lookup for an address."""
+        best: Optional[Route] = None
+        for (kind, prefix), route in self._routes.items():
+            if kind is not route_type:
+                continue
+            if prefix.contains_address(address):
+                if best is None or prefix.length > best.prefix.length:
+                    best = route
+        return best
+
+    def grib_lookup(self, group_address: int) -> Optional[Route]:
+        """Longest-match group-route lookup — the operation BGMP
+        performs to find the next hop towards a group's root domain."""
+        return self.lookup(RouteType.GROUP, group_address)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def clear(self) -> None:
+        """Drop everything (used when recomputing from scratch)."""
+        self._routes.clear()
+
+    def snapshot(self) -> Dict[Tuple[RouteType, Prefix], Route]:
+        """A copy of the table (used by convergence checks)."""
+        return dict(self._routes)

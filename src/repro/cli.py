@@ -1,0 +1,117 @@
+"""Command-line interface.
+
+``python -m repro <command>`` regenerates the paper's experiments from
+a shell:
+
+- ``fig2`` — the MASC utilization / G-RIB simulation (Figure 2).
+- ``fig4`` — the tree path-length comparison (Figure 4).
+- ``demo`` — the Figure 1 end-to-end walk-through.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.experiments.fig2 import (
+    Figure2Config,
+    paper_scale_config,
+    run_figure2,
+)
+from repro.experiments.fig4 import Figure4Config, run_figure4
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    if args.paper:
+        config = paper_scale_config(seed=args.seed)
+    else:
+        config = Figure2Config(
+            top_count=args.tops,
+            children_per_top=args.children,
+            duration_days=args.days,
+            transient_days=min(60.0, args.days / 2),
+            seed=args.seed,
+        )
+    result = run_figure2(config)
+    print(result.table(every_days=args.every))
+    steady = result.steady_state()
+    print()
+    print(f"steady utilization: {steady['utilization_mean']:.3f}")
+    print(f"steady G-RIB mean:  {steady['grib_mean']:.1f}"
+          f" (max {steady['grib_max']:.0f})")
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    config = Figure4Config(
+        node_count=args.nodes,
+        trials_per_size=args.trials,
+        seed=args.seed,
+    )
+    result = run_figure4(config)
+    print(result.table())
+    print()
+    for kind, stats in result.overall().items():
+        print(f"{kind}: avg {stats['average']:.3f}x,"
+              f" max {stats['max']:.2f}x")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.system import MulticastInternet
+    from repro.topology.generators import paper_figure1_topology
+
+    topology = paper_figure1_topology()
+    internet = MulticastInternet(topology, seed=args.seed)
+    initiator = topology.domain("F").host("alice")
+    session = internet.create_group(initiator)
+    print(f"group {session.address} rooted at "
+          f"{session.root_domain.name}")
+    for name in ("G", "C", "D"):
+        internet.join(topology.domain(name).host("m"), session.group)
+    report = internet.send(
+        topology.domain("E").host("s"), session.group
+    )
+    print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of the MASC/BGMP inter-domain multicast "
+            "architecture (SIGCOMM 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig2 = sub.add_parser("fig2", help="Figure 2: MASC allocation run")
+    fig2.add_argument("--tops", type=int, default=10)
+    fig2.add_argument("--children", type=int, default=25)
+    fig2.add_argument("--days", type=float, default=200.0)
+    fig2.add_argument("--every", type=int, default=20,
+                      help="table row spacing in days")
+    fig2.add_argument("--seed", type=int, default=0)
+    fig2.add_argument("--paper", action="store_true",
+                      help="the paper's 50x50 / 800-day setup")
+    fig2.set_defaults(func=_cmd_fig2)
+
+    fig4 = sub.add_parser("fig4", help="Figure 4: tree path lengths")
+    fig4.add_argument("--nodes", type=int, default=3326)
+    fig4.add_argument("--trials", type=int, default=5)
+    fig4.add_argument("--seed", type=int, default=0)
+    fig4.set_defaults(func=_cmd_fig4)
+
+    demo = sub.add_parser("demo", help="Figure 1 end-to-end demo")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,258 @@
+"""End-to-end system facade.
+
+The full pipeline of the paper, in one object::
+
+    topology = paper_figure3_topology()
+    internet = MulticastInternet(topology)
+    session = internet.create_group(initiator_host)   # MASC + MAAS
+    internet.join(member_host, session.group)          # MIGP + BGMP
+    report = internet.send(sender_host, session.group) # data plane
+
+Creating a group pulls an address from the initiator's domain's MAAS;
+if the domain has no (or not enough) MASC space, the claim cascades up
+the hierarchy, and every claimed range is injected into BGP as a group
+route — which is precisely what roots the group's BGMP tree in the
+initiator's domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.addressing.ipv4 import format_address
+from repro.addressing.prefix import Prefix
+from repro.bgmp.network import BgmpNetwork, DeliveryReport
+from repro.bgp.routes import RouteType
+from repro.masc.config import MascConfig
+from repro.masc.maas import MaasServer
+from repro.masc.manager import DomainSpaceManager, RootClaimSource
+from repro.sim.randomness import RandomStreams
+from repro.topology.domain import Domain, Host
+from repro.topology.hierarchy import MascHierarchy, build_masc_hierarchy
+from repro.topology.network import Topology
+
+
+class GroupSession:
+    """One multicast group created through the architecture."""
+
+    def __init__(
+        self,
+        group: int,
+        initiator: Host,
+        root_domain: Domain,
+        allocated_by: Optional[Domain] = None,
+    ):
+        self.group = group
+        self.initiator = initiator
+        self.root_domain = root_domain
+        #: The domain whose MAAS assigned the address (differs from the
+        #: initiator's domain under section 7's root-elsewhere option).
+        self.allocated_by = (
+            allocated_by if allocated_by is not None else initiator.domain
+        )
+        self.members: List[Host] = []
+
+    @property
+    def address(self) -> str:
+        """The group address in dotted-quad form."""
+        return format_address(self.group)
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupSession({self.address}, root={self.root_domain.name}, "
+            f"members={len(self.members)})"
+        )
+
+
+class MulticastInternet:
+    """Topology + MASC + BGP + BGMP, assembled and kept consistent."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        seed: int = 0,
+        masc_config: Optional[MascConfig] = None,
+        migp_selector=None,
+        hierarchy: Optional[MascHierarchy] = None,
+    ):
+        self.topology = topology
+        self.config = masc_config if masc_config is not None else MascConfig()
+        self.streams = RandomStreams(seed)
+        self.hierarchy = (
+            hierarchy if hierarchy is not None
+            else build_masc_hierarchy(topology)
+        )
+        self.bgmp = BgmpNetwork(topology, migp_selector=migp_selector)
+        self.root_space = RootClaimSource()
+        self.managers: Dict[Domain, DomainSpaceManager] = {}
+        self.maases: Dict[Domain, MaasServer] = {}
+        self._now = 0.0
+        self._dirty = False
+        self._build_masc()
+        self.sessions: Dict[int, GroupSession] = {}
+        self.bgmp.converge()
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def _build_masc(self) -> None:
+        clock = lambda: self._now  # noqa: E731
+        for domain in self.hierarchy.domains():
+            parent = self.hierarchy.parent(domain)
+            source = (
+                self.root_space if parent is None else self.managers[parent]
+            )
+            manager = DomainSpaceManager(
+                domain.name,
+                source=source,
+                config=self.config,
+                rng=self.streams.stream(f"claims/{domain.name}"),
+                on_claimed=self._make_injector(domain),
+                on_released=self._make_withdrawer(domain),
+                clock=clock,
+            )
+            self.managers[domain] = manager
+            self.maases[domain] = MaasServer(
+                manager,
+                config=self.config,
+                rng=self.streams.stream(f"demand/{domain.name}"),
+            )
+
+    def _make_injector(self, domain: Domain):
+        def inject(prefix: Prefix) -> None:
+            self.bgmp.bgp.originate_from_domain(
+                domain, prefix, RouteType.GROUP
+            )
+            self._dirty = True
+
+        return inject
+
+    def _make_withdrawer(self, domain: Domain):
+        def withdraw(prefix: Prefix) -> None:
+            self.bgmp.bgp.withdraw(
+                domain.router(), prefix, RouteType.GROUP
+            )
+            self._dirty = True
+
+        return withdraw
+
+    def _settle(self) -> None:
+        """Re-converge BGP after group-route changes, and re-anchor any
+        shared trees whose best group route moved."""
+        if self._dirty:
+            self.bgmp.converge()
+            self.bgmp.refresh_trees()
+            self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Time
+
+    @property
+    def now(self) -> float:
+        """Current time in hours (drives lease expiry)."""
+        return self._now
+
+    def advance(self, hours: float) -> None:
+        """Advance time: expire MAAS blocks, run MASC maintenance."""
+        if hours < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += hours
+        for domain, maas in self.maases.items():
+            maas.expire_blocks(self._now)
+        # Children first, so drained spaces release before parents act.
+        for domain in reversed(self.hierarchy.domains()):
+            self.managers[domain].maintain()
+        self._settle()
+
+    # ------------------------------------------------------------------
+    # Sessions (sdr-style)
+
+    def create_group(
+        self,
+        initiator: Host,
+        root_domain: Optional[Domain] = None,
+    ) -> GroupSession:
+        """Allocate a group address from the initiator's domain.
+
+        The address comes from the domain's MASC range (claimed on
+        demand), so the resulting shared tree is rooted in the
+        initiator's domain — the paper's default root placement.
+
+        ``root_domain`` implements section 7's address-allocation
+        interface: an initiator that knows the dominant sources will be
+        elsewhere (or that it will move) obtains the address from that
+        domain's range instead, rooting the tree there.
+        """
+        domain = root_domain if root_domain is not None else initiator.domain
+        maas = self.maases[domain]
+        address = maas.assign_group_address(self._now)
+        if address is None:
+            raise RuntimeError(
+                f"no multicast address space available for {domain.name}"
+            )
+        self._settle()
+        root = self.bgmp.root_domain_of(address)
+        if root is None:
+            raise RuntimeError(
+                f"group {format_address(address)} has no root domain"
+            )
+        session = GroupSession(address, initiator, root, allocated_by=domain)
+        self.sessions[address] = session
+        return session
+
+    def close_group(self, session: GroupSession) -> None:
+        """End a session: members leave, the address returns."""
+        for member in list(session.members):
+            self.leave(member, session.group)
+        self.maases[session.allocated_by].release_group_address(
+            session.group
+        )
+        self.sessions.pop(session.group, None)
+
+    # ------------------------------------------------------------------
+    # Membership and data
+
+    def join(self, host: Host, group: int) -> bool:
+        """Join a host to a group (MIGP membership + BGMP tree)."""
+        self._settle()
+        joined = self.bgmp.join(host, group)
+        session = self.sessions.get(group)
+        if session is not None and host not in session.members:
+            session.members.append(host)
+        return joined
+
+    def leave(self, host: Host, group: int) -> None:
+        """Remove a host from a group."""
+        self.bgmp.leave(host, group)
+        session = self.sessions.get(group)
+        if session is not None and host in session.members:
+            session.members.remove(host)
+
+    def send(self, host: Host, group: int) -> DeliveryReport:
+        """Send one packet (senders need not be members)."""
+        self._settle()
+        return self.bgmp.send(host, group)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def root_domain_of(self, group: int) -> Optional[Domain]:
+        """The group's root domain per the G-RIB."""
+        return self.bgmp.root_domain_of(group)
+
+    def claimed_ranges(self, domain: Domain) -> List[Prefix]:
+        """A domain's current MASC ranges."""
+        return self.managers[domain].prefixes()
+
+    def grib_size_at(self, domain: Domain) -> int:
+        """G-RIB size at the domain's first border router."""
+        return self.bgmp.bgp.grib_size(domain.router())
+
+    def total_group_routes(self) -> int:
+        """Distinct group-route prefixes originated network-wide."""
+        prefixes = set()
+        for domain in self.managers:
+            prefixes.update(
+                self.bgmp.bgp.domain_origins(domain, RouteType.GROUP)
+            )
+        return len(prefixes)

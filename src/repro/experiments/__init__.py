@@ -1,0 +1,24 @@
+"""Experiment drivers regenerating the paper's evaluation.
+
+One module per figure:
+
+- :mod:`repro.experiments.fig2` — the MASC claim-algorithm simulation
+  behind Figure 2(a) (address-space utilization over time) and
+  Figure 2(b) (G-RIB size over time).
+- :mod:`repro.experiments.fig4` — the tree path-length comparison of
+  Figure 4 (unidirectional / bidirectional / hybrid vs. shortest-path
+  trees as group size grows).
+
+Each driver returns structured results and can render the series as a
+text table; the ``benchmarks/`` suite wires them into pytest-benchmark.
+"""
+
+from repro.experiments.fig2 import Figure2Result, run_figure2
+from repro.experiments.fig4 import Figure4Result, run_figure4
+
+__all__ = [
+    "Figure2Result",
+    "run_figure2",
+    "Figure4Result",
+    "run_figure4",
+]

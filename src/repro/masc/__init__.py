@@ -1,0 +1,74 @@
+"""The Multicast Address-Set Claim (MASC) protocol.
+
+MASC dynamically allocates multicast address ranges to domains
+(section 4 of the paper). Domains form a hierarchy following provider-
+customer relationships; children claim sub-ranges of their parent's
+ranges using a listen/claim-with-collision-detection mechanism, wait
+out a collision-detection period, and then hand confirmed ranges to
+their MAASes and inject them into BGP as group routes.
+
+Layers in this package:
+
+- :mod:`repro.masc.config` — tunables (occupancy threshold, waiting
+  period, claim policy, block parameters).
+- :mod:`repro.masc.spaces` — a domain's claimed address spaces and the
+  allocations (MAAS blocks, child claims) living inside them.
+- :mod:`repro.masc.manager` — the claim algorithm of section 4.3.3:
+  sizing, doubling vs. new-prefix expansion, active/inactive prefixes,
+  release of drained space.
+- :mod:`repro.masc.maas` — Multicast Address Allocation Servers:
+  block demand and individual group-address assignment.
+- :mod:`repro.masc.node` / :mod:`repro.masc.messages` — the
+  message-level claim-collide protocol state machine.
+- :mod:`repro.masc.simulation` — the Figure 2 experiment engine.
+"""
+
+from repro.masc.config import LifetimePools, MascConfig
+from repro.masc.bootstrap import (
+    ExchangePoint,
+    assign_exchanges,
+    make_exchanges,
+    partition_space,
+)
+from repro.masc.kampai import KampaiDomain, KampaiRoot, KampaiSimulation
+from repro.masc.auth import (
+    Adversary,
+    AuthenticatedOverlay,
+    KeyRegistry,
+)
+from repro.masc.sdr import FlatRandomAllocator, SessionDirectory
+from repro.masc.spaces import AddressPool, ClaimedSpace
+from repro.masc.manager import (
+    ClaimSource,
+    DomainSpaceManager,
+    RootClaimSource,
+)
+from repro.masc.maas import MaasServer
+from repro.masc.node import MascNode
+from repro.masc.simulation import ClaimSimulation, SimulationConfig
+
+__all__ = [
+    "LifetimePools",
+    "MascConfig",
+    "ExchangePoint",
+    "assign_exchanges",
+    "make_exchanges",
+    "partition_space",
+    "KampaiDomain",
+    "KampaiRoot",
+    "KampaiSimulation",
+    "Adversary",
+    "AuthenticatedOverlay",
+    "KeyRegistry",
+    "FlatRandomAllocator",
+    "SessionDirectory",
+    "AddressPool",
+    "ClaimedSpace",
+    "ClaimSource",
+    "DomainSpaceManager",
+    "RootClaimSource",
+    "MaasServer",
+    "MascNode",
+    "ClaimSimulation",
+    "SimulationConfig",
+]

@@ -1,0 +1,104 @@
+"""Start-up phase behaviour (section 4.4).
+
+"The entire multicast address space is initially partitioned among one
+or more Internet exchange points (say, one per continent). MASC nodes
+at each exchange are bootstrapped to advertise its portion of the
+address space … Backbone providers with no parent then pick the prefix
+of a nearby exchange (either one to which they connect, or one which
+they are configured to use) as their 'parent's' prefix. Since this
+involves no parent-child MASC peerings at the top level, this approach
+minimizes third-party dependencies."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.addressing.prefix import MULTICAST_SPACE, Prefix
+from repro.masc.manager import RootClaimSource
+from repro.masc.node import MascNode
+
+
+def partition_space(
+    space: Prefix = MULTICAST_SPACE, count: int = 4
+) -> List[Prefix]:
+    """Split a space into ``count`` disjoint prefixes.
+
+    Counts that are powers of two give equal shares; otherwise the
+    leftover halves stay coarser (e.g. 3 exchanges out of a /4 get a
+    /5 and two /6s). The shares exactly cover the space.
+    """
+    if count < 1:
+        raise ValueError("need at least one exchange")
+    if count > space.size:
+        raise ValueError(f"cannot split {space} into {count} parts")
+    shares: List[Prefix] = [space]
+    while len(shares) < count:
+        # Split the largest share (stable: lowest address first).
+        shares.sort(key=lambda p: (p.length, p.network))
+        largest = shares.pop(0)
+        shares.extend(largest.children())
+    return sorted(shares)
+
+
+class ExchangePoint:
+    """A bootstrapped exchange advertising one share of 224/4.
+
+    For the capacity/oracle allocation engine the exchange *is* the
+    claim source for the top-level domains configured to use it.
+    """
+
+    def __init__(self, name: str, prefix: Prefix):
+        self.name = name
+        self.prefix = prefix
+        self.source = RootClaimSource(prefix)
+
+    def __repr__(self) -> str:
+        return f"ExchangePoint({self.name}, {self.prefix})"
+
+
+def make_exchanges(
+    names: Sequence[str],
+    space: Prefix = MULTICAST_SPACE,
+) -> List[ExchangePoint]:
+    """Create one exchange per name, partitioning ``space`` equally."""
+    shares = partition_space(space, len(names))
+    return [
+        ExchangePoint(name, prefix)
+        for name, prefix in zip(names, shares)
+    ]
+
+
+def assign_exchanges(
+    nodes: Sequence[MascNode],
+    exchanges: Sequence[ExchangePoint],
+    assignment: Optional[Dict[str, str]] = None,
+) -> Dict[MascNode, ExchangePoint]:
+    """Bootstrap top-level MASC nodes onto exchanges.
+
+    ``assignment`` maps node name -> exchange name (the "configured to
+    use" case); unassigned nodes are distributed round-robin (standing
+    in for "one to which they connect"). Each node's claimable space
+    becomes its exchange's prefix, and only same-exchange nodes remain
+    claim-relevant siblings — the section 4.4 property that no
+    top-level parent (and no cross-continent dependency) is needed.
+    """
+    if not exchanges:
+        raise ValueError("need at least one exchange")
+    by_name = {x.name: x for x in exchanges}
+    chosen: Dict[MascNode, ExchangePoint] = {}
+    for index, node in enumerate(nodes):
+        if assignment and node.name in assignment:
+            exchange = by_name[assignment[node.name]]
+        else:
+            exchange = exchanges[index % len(exchanges)]
+        node.parent_spaces = [exchange.prefix]
+        chosen[node] = exchange
+    # Rebuild sibling sets: claims only collide within an exchange.
+    for node in nodes:
+        node.siblings = [
+            other
+            for other in nodes
+            if other is not node and chosen[other] is chosen[node]
+        ]
+    return chosen

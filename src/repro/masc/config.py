@@ -1,0 +1,126 @@
+"""MASC tunables.
+
+Defaults follow the paper: 75 % target occupancy, at most two prefixes
+per domain, a 48-hour collision waiting period, and the Figure 2 demand
+model (256-address blocks with 30-day lifetimes, inter-request times
+uniform between 1 and 95 hours). Times are in hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+HOURS_PER_DAY = 24.0
+
+
+@dataclass
+class MascConfig:
+    """Knobs of the MASC claim algorithm and demand model."""
+
+    #: Target occupancy (section 4.3.3: "75% or greater"). A domain
+    #: doubles an active prefix only when post-doubling utilization of
+    #: its whole space stays at or above this fraction.
+    occupancy_threshold: float = 0.75
+
+    #: Soft cap on prefixes per domain ("we attempt to keep the number
+    #: of prefixes per domain to no more than two").
+    max_prefixes: int = 2
+
+    #: Collision-detection waiting period before a claim is usable
+    #: (section 4.1: "we believe 48 hours to be a realistic period").
+    waiting_period: float = 48.0
+
+    #: Claim-candidate choice: "random" implements the paper's rule
+    #: (random among shortest-mask free blocks); "first" is the
+    #: deterministic ablation.
+    claim_policy: str = "random"
+
+    #: Interval at which a pending claim is re-announced to parent and
+    #: siblings (hours). Re-announcement is what lets the waiting
+    #: period actually span a partition: a claim announced into a cut
+    #: link is heard once the partition heals. None disables it.
+    reannounce_interval: "float | None" = 12.0
+
+    #: MAAS block request size (Figure 2: "blocks of 256 addresses").
+    block_size: int = 256
+
+    #: MAAS block lifetime in hours (Figure 2: 30 days).
+    block_lifetime: float = 30 * HOURS_PER_DAY
+
+    #: Uniform inter-request bounds in hours (Figure 2: 1 to 95 hours).
+    inter_request_min: float = 1.0
+    inter_request_max: float = 95.0
+
+    #: Lifetime of a claimed address range in hours (section 4.3.1: the
+    #: "steady-state" pool has lifetimes on the order of months). A
+    #: range not renewed at expiry is released; a parent may decline
+    #: renewal (e.g. after consolidating its own space), forcing the
+    #: child to re-claim from the parent's current ranges — this is the
+    #: recycling that "helps us adapt continually to usage patterns so
+    #: that better aggregation can be achieved".
+    claim_lifetime: float = 30 * HOURS_PER_DAY
+
+    #: Low-water occupancy: when a claim comes up for renewal while the
+    #: domain's overall occupancy sits below this fraction, the domain
+    #: relinquishes space instead of renewing — it claims one new
+    #: prefix sized to current usage and lets the old ranges drain
+    #: (the MAAS-to-MASC "relinquish some of the acquired space" path
+    #: of section 4, rate-limited by the claim lifetime).
+    shrink_low_water: float = 0.5
+
+    #: Maximum re-claim attempts after collisions before giving up.
+    max_claim_attempts: int = 8
+
+    #: Fair-use enforcement (section 7): when set, a parent answers a
+    #: child claim larger than this fraction of the parent's own space
+    #: with an explicit collision — "a possible enforcement mechanism
+    #: is for a parent domain to send back explicit collisions when a
+    #: child claims too large a range". None disables enforcement
+    #: (the paper notes it "lacks an appropriate definition for 'too
+    #: large'"; this knob makes the definition explicit and tunable).
+    max_child_claim_fraction: "float | None" = None
+
+    #: Whether a parent proactively claims extra space once its own
+    #: occupancy exceeds the threshold (keeps it "ahead of the demand").
+    proactive_expansion: bool = True
+
+    #: Whether in-place doubling of active prefixes is allowed. The
+    #: ablation benches disable it to quantify what the buddy-growth
+    #: rule buys over always claiming detached prefixes.
+    allow_doubling: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.occupancy_threshold <= 1.0:
+            raise ValueError(
+                f"occupancy threshold out of range: "
+                f"{self.occupancy_threshold}"
+            )
+        if self.max_prefixes < 1:
+            raise ValueError("max_prefixes must be at least 1")
+        if self.claim_policy not in ("random", "first"):
+            raise ValueError(f"unknown claim policy {self.claim_policy!r}")
+        if self.block_size <= 0 or self.block_size & (self.block_size - 1):
+            raise ValueError("block size must be a positive power of two")
+        if self.inter_request_min > self.inter_request_max:
+            raise ValueError("inter-request bounds inverted")
+        if self.max_child_claim_fraction is not None and not (
+            0.0 < self.max_child_claim_fraction <= 1.0
+        ):
+            raise ValueError(
+                f"max_child_claim_fraction out of range: "
+                f"{self.max_child_claim_fraction}"
+            )
+
+
+@dataclass
+class LifetimePools:
+    """The paper's two-pool lifetime model (section 4.3.1): one pool
+    with lifetimes on the order of months for steady-state demand, one
+    on the order of days for short-term spikes."""
+
+    steady_lifetime: float = 90 * HOURS_PER_DAY
+    surge_lifetime: float = 7 * HOURS_PER_DAY
+
+    def lifetime_for(self, steady: bool) -> float:
+        """Pick the pool by demand type."""
+        return self.steady_lifetime if steady else self.surge_lifetime

@@ -1,0 +1,246 @@
+"""Kampai-style non-contiguous-mask allocation.
+
+Section 4.3.3 of the paper: "We are also investigating the use of
+non-contiguous masks as in Francis' Kampai scheme. The use of
+non-contiguous masks in the Internet may face operational resistance
+(due to difficulty in understanding the scheme) but would provide even
+better address space utilization."
+
+With non-contiguous masks a domain's address set need not be one
+aligned power-of-two block, so allocation reduces to *capacity*
+accounting: any free addresses of a parent can serve any child, and
+fragmentation disappears by construction. This module implements that
+model with the same occupancy thresholds and demand interface as the
+contiguous manager, so the ablation bench can quantify exactly what
+the paper predicted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.masc.config import HOURS_PER_DAY, MascConfig
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.sim.stats import TimeSeries
+
+
+class KampaiRoot:
+    """The 224/4 space as a capacity pool."""
+
+    def __init__(self, capacity: int = 1 << 28):
+        self.capacity = capacity
+        self.allocated = 0
+
+    def acquire(self, amount: int) -> bool:
+        """Take ``amount`` addresses; False when the space is full."""
+        if amount < 0:
+            raise ValueError(f"negative acquisition: {amount}")
+        if self.allocated + amount > self.capacity:
+            return False
+        self.allocated += amount
+        return True
+
+    def release(self, amount: int) -> None:
+        """Return ``amount`` addresses."""
+        if amount < 0 or amount > self.allocated:
+            raise ValueError(f"bad release of {amount}")
+        self.allocated -= amount
+
+
+class KampaiDomain:
+    """One domain's address set under capacity (Kampai) allocation.
+
+    Expansion and shedding follow the same policy shape as the
+    contiguous manager — claim just enough to restore the occupancy
+    target, shed (at maintenance) when occupancy falls under the
+    low-water mark — but without any placement constraint.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent,
+        config: Optional[MascConfig] = None,
+    ):
+        self.name = name
+        self.parent = parent
+        self.config = config if config is not None else MascConfig()
+        self.total = 0
+        self.used = 0
+        #: Counters mirroring the contiguous manager's.
+        self.expansions = 0
+        self.expansion_failures = 0
+        self.sheds = 0
+
+    @property
+    def free(self) -> int:
+        """Unused addresses currently held."""
+        return self.total - self.used
+
+    def utilization(self) -> float:
+        """used / total, 0.0 when empty-handed."""
+        return self.used / self.total if self.total else 0.0
+
+    # ------------------------------------------------------------------
+    # Parent-facing capacity interface
+
+    def acquire(self, amount: int) -> bool:
+        """A child takes ``amount`` from this domain's free capacity,
+        growing our own holdings when needed."""
+        if amount > self.free and not self._expand(amount - self.free):
+            return False
+        self.used += amount
+        return True
+
+    def release(self, amount: int) -> None:
+        """A child returns capacity."""
+        if amount < 0 or amount > self.used:
+            raise ValueError(f"bad release of {amount}")
+        self.used -= amount
+
+    # ------------------------------------------------------------------
+    # Growth and shedding
+
+    def _expand(self, shortfall: int) -> bool:
+        """Claim enough extra space to cover ``shortfall`` while
+        landing at (or under) the occupancy target."""
+        target = self.config.occupancy_threshold
+        desired_total = max(
+            self.total + shortfall,
+            int((self.used + shortfall) / target) + 1,
+        )
+        delta = desired_total - self.total
+        if not self.parent.acquire(delta):
+            # Fall back to the bare minimum.
+            delta = shortfall
+            if not self.parent.acquire(delta):
+                self.expansion_failures += 1
+                return False
+        self.total += delta
+        self.expansions += 1
+        return True
+
+    def maintain(self) -> None:
+        """Shed excess capacity when occupancy drops below the
+        low-water mark (no migration needed: any addresses are as good
+        as any others under non-contiguous masks)."""
+        if self.total == 0:
+            return
+        if self.utilization() >= self.config.shrink_low_water:
+            return
+        target_total = int(
+            self.used / self.config.occupancy_threshold
+        ) + 1
+        excess = self.total - max(target_total, self.used)
+        if excess <= 0:
+            return
+        self.parent.release(excess)
+        self.total -= excess
+        self.sheds += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"KampaiDomain({self.name}, total={self.total}, "
+            f"used={self.used})"
+        )
+
+
+class KampaiSimulation:
+    """The Figure 2 demand model over Kampai allocation.
+
+    Mirrors :class:`repro.masc.simulation.ClaimSimulation` (same
+    hierarchy shape, same block sizes/lifetimes/inter-request law, the
+    same named random streams) so the two engines are comparable run
+    for run.
+    """
+
+    def __init__(
+        self,
+        top_count: int = 10,
+        children_per_top: int = 25,
+        duration_days: float = 200.0,
+        seed: int = 0,
+        config: Optional[MascConfig] = None,
+    ):
+        self.config = config if config is not None else MascConfig()
+        self.top_count = top_count
+        self.children_per_top = children_per_top
+        self.duration_days = duration_days
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed)
+        self.root = KampaiRoot()
+        self.tops: List[KampaiDomain] = []
+        self.children: List[KampaiDomain] = []
+        self._rngs: Dict[str, object] = {}
+        self._live_blocks = 0
+        self.requests_served = 0
+        self.requests_failed = 0
+        self.utilization = TimeSeries("kampai-utilization")
+        for t in range(top_count):
+            top = KampaiDomain(f"T{t}", self.root, self.config)
+            self.tops.append(top)
+            for c in range(children_per_top):
+                name = f"T{t}C{c}"
+                child = KampaiDomain(name, top, self.config)
+                self.children.append(child)
+                self._rngs[name] = self.streams.stream(f"demand/{name}")
+
+    # ------------------------------------------------------------------
+
+    def _request(self, child: KampaiDomain) -> None:
+        size = self.config.block_size
+        if child.acquire(size):
+            self.requests_served += 1
+            self._live_blocks += 1
+            self.sim.schedule(
+                self.config.block_lifetime, self._expire, child
+            )
+        else:
+            self.requests_failed += 1
+        rng = self._rngs[child.name]
+        self.sim.schedule(
+            rng.uniform(
+                self.config.inter_request_min,
+                self.config.inter_request_max,
+            ),
+            self._request,
+            child,
+        )
+
+    def _expire(self, child: KampaiDomain) -> None:
+        child.release(self.config.block_size)
+        self._live_blocks -= 1
+
+    def _sample(self) -> None:
+        for child in self.children:
+            child.maintain()
+        for top in self.tops:
+            top.maintain()
+        requested = self._live_blocks * self.config.block_size
+        allocated = self.root.allocated
+        self.utilization.record(
+            self.sim.now, requested / allocated if allocated else 0.0
+        )
+        if self.sim.now < self.duration_days * HOURS_PER_DAY:
+            self.sim.schedule(24.0, self._sample)
+
+    def run(self) -> TimeSeries:
+        """Execute the run; returns the utilization series."""
+        for child in self.children:
+            rng = self._rngs[child.name]
+            self.sim.schedule(
+                rng.uniform(0.0, self.config.inter_request_max),
+                self._request,
+                child,
+            )
+        self.sim.schedule(24.0, self._sample)
+        self.sim.run(until=self.duration_days * HOURS_PER_DAY)
+        return self.utilization
+
+    def steady_utilization(self, from_day: float = 60.0) -> float:
+        """Mean utilization after the startup transient."""
+        window = self.utilization.window(
+            from_day * HOURS_PER_DAY, self.utilization.times[-1]
+        )
+        return window.mean()

@@ -1,0 +1,55 @@
+"""MASC protocol messages.
+
+The claim-collide mechanism (section 4.1) needs four message kinds:
+parents advertise their address ranges to children; claimers announce
+claims to their parent and directly-connected siblings; anyone already
+using a claimed range answers with a collision announcement; and
+domains give up ranges with a release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.addressing.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class SpaceAdvertisement:
+    """Parent -> children: the ranges children may claim from."""
+
+    sender_id: int
+    prefixes: Tuple[Prefix, ...]
+
+
+@dataclass(frozen=True)
+class ClaimMessage:
+    """Claimer -> parent and siblings: a claim on a sub-range.
+
+    ``claim_serial`` distinguishes retries of the same logical claim.
+    ``expires_at`` carries the requested lifetime (section 4.3.1).
+    """
+
+    sender_id: int
+    prefix: Prefix
+    claim_serial: int
+    expires_at: float = float("inf")
+
+
+@dataclass(frozen=True)
+class CollisionMessage:
+    """Responder -> claimer: the claimed range is in use or lost the
+    tie-break; pick a different range."""
+
+    sender_id: int
+    prefix: Prefix
+    claim_serial: int
+
+
+@dataclass(frozen=True)
+class ReleaseMessage:
+    """Holder -> parent and siblings: the range is given up."""
+
+    sender_id: int
+    prefix: Prefix

@@ -1,0 +1,510 @@
+"""The MASC claim-collide state machine.
+
+One :class:`MascNode` per MASC domain, driven by the discrete-event
+simulator. Nodes exchange the messages of :mod:`repro.masc.messages`
+over an overlay (:class:`MascOverlay`) that models per-link delay and
+partitions.
+
+The protocol (section 4.1 of the paper):
+
+1. A child listens to its parent's space advertisements.
+2. To acquire space it selects a sub-range not known to be claimed,
+   announces the claim to its parent and siblings, and waits out the
+   collision-detection period (48 hours by default — "long enough to
+   span network partitions").
+3. A sibling already using (or simultaneously claiming and winning)
+   the range answers with a collision announcement; the loser abandons
+   the claim and tries a different range.
+4. A claim that survives the waiting period is confirmed: the node
+   hands it to its MAASes and injects it into BGP as a group route
+   (the ``on_confirmed`` callback).
+
+Winner resolution on simultaneous claims follows footnote 4 of the
+paper: the lower domain identifier wins.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.addressing.leases import LeaseTable
+from repro.addressing.prefix import MULTICAST_SPACE, Prefix
+from repro.masc.config import MascConfig
+from repro.masc.messages import (
+    ClaimMessage,
+    CollisionMessage,
+    ReleaseMessage,
+    SpaceAdvertisement,
+)
+from repro.sim.engine import Event, Simulator
+
+
+class PendingClaim:
+    """One in-flight claim attempt (re-created on every retry)."""
+
+    __slots__ = (
+        "prefix", "length", "serial", "attempts", "timer",
+        "on_confirmed", "on_failed", "expires_at",
+    )
+
+    def __init__(
+        self,
+        prefix: Prefix,
+        length: int,
+        serial: int,
+        attempts: int,
+        timer: Event,
+        on_confirmed: Optional[Callable[[Prefix], None]],
+        on_failed: Optional[Callable[[], None]],
+        expires_at: float,
+    ):
+        self.prefix = prefix
+        self.length = length
+        self.serial = serial
+        self.attempts = attempts
+        self.timer = timer
+        self.on_confirmed = on_confirmed
+        self.on_failed = on_failed
+        self.expires_at = expires_at
+
+
+class MascOverlay:
+    """Message transport between MASC nodes.
+
+    Supports per-delivery delay, administratively cut links (to model
+    the network partitions the waiting period guards against) and
+    random message loss (which periodic re-announcement rides out).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float = 0.1,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate out of range: {loss_rate}")
+        self.sim = sim
+        self.delay = delay
+        self.loss_rate = loss_rate
+        self.rng = rng if rng is not None else random.Random(0)
+        self.messages_dropped = 0
+        self._cut: set = set()
+
+    def cut(self, a: "MascNode", b: "MascNode") -> None:
+        """Partition a pair of nodes (messages silently dropped)."""
+        self._cut.add(frozenset((a.node_id, b.node_id)))
+
+    def heal(self, a: "MascNode", b: "MascNode") -> None:
+        """Repair a previously cut pair."""
+        self._cut.discard(frozenset((a.node_id, b.node_id)))
+
+    def send(self, src: "MascNode", dst: "MascNode", message) -> None:
+        """Deliver a message after the overlay delay, unless cut or
+        randomly lost."""
+        if frozenset((src.node_id, dst.node_id)) in self._cut:
+            return
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            self.messages_dropped += 1
+            return
+        self.sim.schedule(self.delay, dst.handle, message, src)
+
+
+class MascNode:
+    """MASC protocol engine for one domain."""
+
+    def __init__(
+        self,
+        node_id: int,
+        name: str,
+        overlay: MascOverlay,
+        config: Optional[MascConfig] = None,
+        rng: Optional[random.Random] = None,
+        on_confirmed: Optional[Callable[[Prefix], None]] = None,
+        on_released: Optional[Callable[[Prefix], None]] = None,
+    ):
+        self.node_id = node_id
+        self.name = name
+        self.overlay = overlay
+        self.config = config if config is not None else MascConfig()
+        self.rng = rng if rng is not None else random.Random(node_id)
+        #: MASC parents — the paper allows "one or more" providers.
+        self.parents: List[MascNode] = []
+        self.children: List[MascNode] = []
+        self.siblings: List[MascNode] = []
+        #: Ranges advertised per parent (node id -> prefixes).
+        self._advertised: Dict[int, List[Prefix]] = {}
+        #: Explicit claimable-space override (exchange bootstrap).
+        self._space_override: Optional[List[Prefix]] = None
+        #: Ranges known claimed by others, mapped to the claimant id.
+        self.heard_claims: Dict[Prefix, int] = {}
+        #: This node's confirmed claims, with lifetimes.
+        self.claimed = LeaseTable()
+        self._pending: List[PendingClaim] = []
+        self._serial = 0
+        self._on_confirmed = on_confirmed
+        self._on_released = on_released
+        #: Counters for tests and reports.
+        self.collisions_sent = 0
+        self.collisions_received = 0
+        self.claims_confirmed = 0
+        self.claims_failed = 0
+        self.oversize_collisions = 0
+
+    # ------------------------------------------------------------------
+    # Hierarchy wiring
+
+    @property
+    def parent(self) -> Optional["MascNode"]:
+        """The primary (first) parent, None for top-level nodes."""
+        return self.parents[0] if self.parents else None
+
+    @property
+    def parent_spaces(self) -> List[Prefix]:
+        """The ranges this node may claim from: an explicit override
+        (exchange bootstrap), else the union of every parent's
+        advertisements, else the whole class-D space (top level)."""
+        if self._space_override is not None:
+            return list(self._space_override)
+        if self.parents:
+            spaces: List[Prefix] = []
+            for parent in self.parents:
+                spaces.extend(self._advertised.get(parent.node_id, ()))
+            if spaces:
+                return spaces
+        # Top level, or parents that hold nothing yet (bootstrap):
+        # claim straight from the class-D space.
+        return [MULTICAST_SPACE]
+
+    @parent_spaces.setter
+    def parent_spaces(self, spaces: List[Prefix]) -> None:
+        self._space_override = list(spaces)
+
+    def set_parent(self, parent: "MascNode") -> None:
+        """Attach under a parent node; sibling lists update on both
+        sides and the parent advertises its space. May be called with
+        several providers — the paper's "one or more … MASC parent"."""
+        if parent in self.parents:
+            return
+        self.parents.append(parent)
+        for child in parent.children:
+            if child is not self:
+                if child not in self.siblings:
+                    self.siblings.append(child)
+                if self not in child.siblings:
+                    child.siblings.append(self)
+        parent.children.append(self)
+        parent.advertise_space()
+
+    add_parent = set_parent
+
+    def add_top_level_peer(self, other: "MascNode") -> None:
+        """Register another top-level domain as a sibling (all
+        top-level domains claim from 224/4 together)."""
+        if other not in self.siblings:
+            self.siblings.append(other)
+        if self not in other.siblings:
+            other.siblings.append(self)
+
+    def advertise_space(self) -> None:
+        """Send the current claimed ranges to every child."""
+        prefixes = tuple(self.claimed.prefixes())
+        message = SpaceAdvertisement(self.node_id, prefixes)
+        for child in self.children:
+            self.overlay.send(self, child, message)
+
+    # ------------------------------------------------------------------
+    # Claiming
+
+    def start_claim(
+        self,
+        length: int,
+        lifetime: float = float("inf"),
+        on_confirmed: Optional[Callable[[Prefix], None]] = None,
+        on_failed: Optional[Callable[[], None]] = None,
+    ) -> Optional[Prefix]:
+        """Begin acquiring a /``length`` range.
+
+        Returns the initially selected prefix (None when the known free
+        space cannot fit the request). Confirmation is asynchronous:
+        ``on_confirmed`` fires after the waiting period if no collision
+        arrives.
+        """
+        prefix = self._select(length)
+        if prefix is None:
+            self.claims_failed += 1
+            if on_failed is not None:
+                on_failed()
+            return None
+        expires_at = (
+            self.overlay.sim.now + lifetime
+            if lifetime != float("inf")
+            else float("inf")
+        )
+        self._serial += 1
+        pending = PendingClaim(
+            prefix,
+            length,
+            self._serial,
+            attempts=1,
+            timer=self._arm_timer(prefix, self._serial),
+            on_confirmed=on_confirmed,
+            on_failed=on_failed,
+            expires_at=expires_at,
+        )
+        self._pending.append(pending)
+        self._announce(pending)
+        self._schedule_reannounce(pending)
+        return prefix
+
+    def _schedule_reannounce(self, pending: PendingClaim) -> None:
+        interval = self.config.reannounce_interval
+        if interval is None:
+            return
+
+        def reannounce() -> None:
+            if self._find_pending(pending.serial) is not pending:
+                return
+            self._announce(pending)
+            self.overlay.sim.schedule(interval, reannounce)
+
+        self.overlay.sim.schedule(interval, reannounce)
+
+    def _arm_timer(self, prefix: Prefix, serial: int) -> Event:
+        return self.overlay.sim.schedule(
+            self.config.waiting_period,
+            self._confirm,
+            prefix,
+            serial,
+            name=f"{self.name}-claim-wait",
+        )
+
+    def _announce(self, pending: PendingClaim) -> None:
+        message = ClaimMessage(
+            self.node_id,
+            pending.prefix,
+            pending.serial,
+            pending.expires_at,
+        )
+        for parent in self.parents:
+            self.overlay.send(self, parent, message)
+        for sibling in self.siblings:
+            self.overlay.send(self, sibling, message)
+
+    def _select(self, length: int) -> Optional[Prefix]:
+        """The claim algorithm's selection step against this node's
+        *local view*: parent spaces minus heard claims, own claims, and
+        own pending claims."""
+        taken = list(self.heard_claims)
+        taken.extend(self.claimed.prefixes())
+        taken.extend(p.prefix for p in self._pending)
+        candidates: List[Prefix] = []
+        for space in self.parent_spaces:
+            candidates.extend(
+                self._free_blocks_in(space, taken, length)
+            )
+        if not candidates:
+            return None
+        best = min(p.length for p in candidates)
+        shortlist = [p for p in candidates if p.length == best]
+        if self.config.claim_policy == "first":
+            block = min(shortlist)
+        else:
+            block = self.rng.choice(shortlist)
+        return block.first_subprefix(length)
+
+    @staticmethod
+    def _free_blocks_in(
+        space: Prefix, taken: List[Prefix], length: int
+    ) -> List[Prefix]:
+        from repro.addressing.trie import PrefixTrie
+
+        trie = PrefixTrie(space)
+        for prefix in taken:
+            if space.contains(prefix) and not trie.overlapping(prefix):
+                trie.insert(prefix)
+        return trie.shortest_free_prefixes(length)
+
+    def _confirm(self, prefix: Prefix, serial: int) -> None:
+        pending = self._find_pending(serial)
+        if pending is None or pending.prefix != prefix:
+            return
+        self._pending.remove(pending)
+        self.claimed.add(prefix, pending.expires_at, holder=self.name)
+        self.claims_confirmed += 1
+        self.advertise_space()
+        if pending.on_confirmed is not None:
+            pending.on_confirmed(prefix)
+        if self._on_confirmed is not None:
+            self._on_confirmed(prefix)
+
+    def _find_pending(self, serial: int) -> Optional[PendingClaim]:
+        for pending in self._pending:
+            if pending.serial == serial:
+                return pending
+        return None
+
+    # ------------------------------------------------------------------
+    # Release and expiry
+
+    def release(self, prefix: Prefix) -> None:
+        """Give up a confirmed range."""
+        self.claimed.remove(prefix)
+        message = ReleaseMessage(self.node_id, prefix)
+        for parent in self.parents:
+            self.overlay.send(self, parent, message)
+        for sibling in self.siblings:
+            self.overlay.send(self, sibling, message)
+        self.advertise_space()
+        if self._on_released is not None:
+            self._on_released(prefix)
+
+    def expire(self) -> List[Prefix]:
+        """Drop claims whose lifetime has passed (unrenewed ranges
+        become claimable by others, section 4.3.1)."""
+        now = self.overlay.sim.now
+        expired = [l.prefix for l in self.claimed.expire(now)]
+        for prefix in expired:
+            if self._on_released is not None:
+                self._on_released(prefix)
+        if expired:
+            self.advertise_space()
+        return expired
+
+    # ------------------------------------------------------------------
+    # Message handling
+
+    def handle(self, message, sender: "MascNode") -> None:
+        """Dispatch an incoming protocol message."""
+        if isinstance(message, SpaceAdvertisement):
+            self._handle_advertisement(message)
+        elif isinstance(message, ClaimMessage):
+            self._handle_claim(message, sender)
+        elif isinstance(message, CollisionMessage):
+            self._handle_collision(message)
+        elif isinstance(message, ReleaseMessage):
+            self._handle_release(message)
+        else:
+            raise TypeError(f"unknown MASC message {message!r}")
+
+    def _handle_advertisement(self, message: SpaceAdvertisement) -> None:
+        if any(p.node_id == message.sender_id for p in self.parents):
+            self._advertised[message.sender_id] = list(message.prefixes)
+
+    def _handle_claim(self, message: ClaimMessage, sender: "MascNode") -> None:
+        prefix = message.prefix
+        if sender in self.children:
+            # A child claims *from* this node's space: not a conflict.
+            # Claims falling outside the space draw an explicit
+            # collision (section 4.4's start-up rule) — unless the
+            # child has other parents, whose space the claim may
+            # legitimately target. A claim that *straddles* our space
+            # boundary is always malformed. Oversized claims draw the
+            # section 7 fair-use collision.
+            own = self.claimed.prefixes()
+            contained = any(mine.contains(prefix) for mine in own)
+            straddles = any(
+                mine.overlaps(prefix) and not mine.contains(prefix)
+                for mine in own
+            )
+            sole_parent = len(sender.parents) == 1
+            if own and straddles:
+                self._send_collision(sender, message)
+            elif own and not contained and sole_parent:
+                self._send_collision(sender, message)
+            elif contained and self._claim_too_large(prefix):
+                self.oversize_collisions += 1
+                self._send_collision(sender, message)
+            return self._record_heard(message)
+        # Collision with a confirmed allocation: the holder always wins.
+        for mine in self.claimed.prefixes():
+            if mine.overlaps(prefix):
+                self._send_collision(sender, message)
+                return self._record_heard(message)
+        # Collision with an own pending claim: lower node id wins.
+        for pending in list(self._pending):
+            if pending.prefix.overlaps(prefix):
+                if self.node_id < message.sender_id:
+                    self._send_collision(sender, message)
+                else:
+                    self._retry(pending, blocked=prefix)
+        self._record_heard(message)
+
+    def _claim_too_large(self, prefix: Prefix) -> bool:
+        """Section 7 fair-use test: is a child's claim an excessive
+        share of this parent's space?"""
+        fraction = self.config.max_child_claim_fraction
+        if fraction is None:
+            return False
+        own_total = sum(p.size for p in self.claimed.prefixes())
+        if own_total == 0:
+            return False
+        return prefix.size > own_total * fraction
+
+    def _record_heard(self, message: ClaimMessage) -> None:
+        self.heard_claims[message.prefix] = message.sender_id
+
+    def _send_collision(self, claimer: "MascNode", claim: ClaimMessage) -> None:
+        self.collisions_sent += 1
+        self.overlay.send(
+            self,
+            claimer,
+            CollisionMessage(self.node_id, claim.prefix, claim.claim_serial),
+        )
+
+    def _handle_collision(self, message: CollisionMessage) -> None:
+        pending = self._find_pending(message.claim_serial)
+        if pending is None:
+            return
+        self.collisions_received += 1
+        self._retry(pending, blocked=message.prefix)
+
+    def _retry(self, pending: PendingClaim, blocked: Prefix) -> None:
+        """Abandon a losing claim and try a different range."""
+        pending.timer.cancel()
+        self._pending.remove(pending)
+        # Remember the conflicting range so reselection avoids it even
+        # if we never heard the winner's claim directly.
+        self.heard_claims.setdefault(blocked, -1)
+        if pending.attempts >= self.config.max_claim_attempts:
+            self.claims_failed += 1
+            if pending.on_failed is not None:
+                pending.on_failed()
+            return
+        prefix = self._select(pending.length)
+        if prefix is None:
+            self.claims_failed += 1
+            if pending.on_failed is not None:
+                pending.on_failed()
+            return
+        self._serial += 1
+        retry = PendingClaim(
+            prefix,
+            pending.length,
+            self._serial,
+            attempts=pending.attempts + 1,
+            timer=self._arm_timer(prefix, self._serial),
+            on_confirmed=pending.on_confirmed,
+            on_failed=pending.on_failed,
+            expires_at=pending.expires_at,
+        )
+        self._pending.append(retry)
+        self._announce(retry)
+        self._schedule_reannounce(retry)
+
+    def _handle_release(self, message: ReleaseMessage) -> None:
+        self.heard_claims.pop(message.prefix, None)
+
+    # ------------------------------------------------------------------
+
+    def pending_claims(self) -> List[Tuple[Prefix, int]]:
+        """In-flight claims as (prefix, attempt-count) pairs."""
+        return [(p.prefix, p.attempts) for p in self._pending]
+
+    def __repr__(self) -> str:
+        return (
+            f"MascNode({self.name}, id={self.node_id}, "
+            f"claimed={len(self.claimed)}, pending={len(self._pending)})"
+        )

@@ -1,0 +1,163 @@
+"""The pre-MASC allocation scheme: sdr-style flat random assignment.
+
+Section 1 of the paper motivates MASC with the failure mode of the
+session-directory approach: "an address is randomly assigned from
+those not known to be in use. The assigned address is unique with high
+probability when the number of addresses in use is small, but the
+probability of address collisions increases steeply when the
+percentage of addresses in use crosses a certain threshold and as the
+time to notify other allocators grows."
+
+:class:`FlatRandomAllocator` models exactly that: allocators draw
+uniformly from the addresses *their possibly-stale view* says are
+free; announcements of new assignments take ``notification_delay`` to
+reach the other allocators, and two sessions that pick the same
+address (or pick an address whose assignment they have not yet heard
+about) collide.
+
+The MASC architecture avoids this by construction — every MAAS assigns
+from ranges delegated to its own domain — so the comparison bench pits
+this model against the hierarchical one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from repro.sim.engine import Simulator
+
+
+class FlatRandomAllocator:
+    """One sdr-style allocator with a delayed view of global usage."""
+
+    def __init__(
+        self,
+        name: str,
+        directory: "SessionDirectory",
+        rng: random.Random,
+    ):
+        self.name = name
+        self.directory = directory
+        self.rng = rng
+        #: Addresses this allocator knows to be in use.
+        self.known_used: Set[int] = set()
+        self.assignments = 0
+        self.collisions = 0
+
+    def assign(self) -> Optional[int]:
+        """Pick a random address not known to be in use and announce
+        it. Returns the address (collisions are detected and counted
+        by the directory as announcements cross)."""
+        space = self.directory.space_size
+        if len(self.known_used) >= space:
+            return None
+        while True:
+            address = self.rng.randrange(space)
+            if address not in self.known_used:
+                break
+        self.known_used.add(address)
+        self.assignments += 1
+        self.directory.announce(self, address)
+        return address
+
+
+class SessionDirectory:
+    """The shared medium: assignments propagate to the other
+    allocators after ``notification_delay``; truth is tracked centrally
+    so collisions can be counted."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        space_size: int,
+        notification_delay: float,
+    ):
+        self.sim = sim
+        self.space_size = space_size
+        self.notification_delay = notification_delay
+        self.allocators: List[FlatRandomAllocator] = []
+        self._truth: Set[int] = set()
+        self.collisions = 0
+        self.assignments = 0
+
+    def add_allocator(
+        self, name: str, rng: random.Random
+    ) -> FlatRandomAllocator:
+        """Register a new allocator."""
+        allocator = FlatRandomAllocator(name, self, rng)
+        # A newcomer learns the current global state immediately
+        # (session directory cache transfer).
+        allocator.known_used = set(self._truth)
+        self.allocators.append(allocator)
+        return allocator
+
+    def announce(self, source: FlatRandomAllocator, address: int) -> None:
+        """Record an assignment and schedule its propagation."""
+        self.assignments += 1
+        if address in self._truth:
+            self.collisions += 1
+        self._truth.add(address)
+        self.sim.schedule(
+            self.notification_delay, self._propagate, source, address
+        )
+
+    def _propagate(
+        self, source: FlatRandomAllocator, address: int
+    ) -> None:
+        for allocator in self.allocators:
+            if allocator is not source:
+                allocator.known_used.add(address)
+
+    def utilization(self) -> float:
+        """Fraction of the space assigned (ground truth)."""
+        return len(self._truth) / self.space_size
+
+    def collision_rate(self) -> float:
+        """Collisions per assignment so far."""
+        if not self.assignments:
+            return 0.0
+        return self.collisions / self.assignments
+
+
+def measure_collision_curve(
+    utilizations,
+    space_size: int = 4096,
+    allocator_count: int = 20,
+    assignments_per_point: int = 400,
+    notification_delay: float = 1.0,
+    inter_assignment: float = 0.05,
+    seed: int = 0,
+):
+    """Collision probability at increasing utilization levels.
+
+    For each target utilization the space is pre-filled (fully known
+    to everyone), then ``assignments_per_point`` concurrent random
+    assignments are made with the configured notification delay;
+    the observed per-assignment collision rate is returned.
+    """
+    results = []
+    master = random.Random(seed)
+    for target in utilizations:
+        sim = Simulator()
+        directory = SessionDirectory(
+            sim, space_size, notification_delay
+        )
+        prefill = master.sample(
+            range(space_size), int(target * space_size)
+        )
+        directory._truth = set(prefill)
+        allocators = [
+            directory.add_allocator(
+                f"a{i}", random.Random(seed * 1000 + i)
+            )
+            for i in range(allocator_count)
+        ]
+        for index in range(assignments_per_point):
+            allocator = allocators[index % allocator_count]
+            sim.schedule(
+                index * inter_assignment, allocator.assign
+            )
+        sim.run()
+        results.append((target, directory.collision_rate()))
+    return results

@@ -1,0 +1,62 @@
+"""DVMRP as an MIGP.
+
+Flood-and-prune with Domain Wide Reports: a new member triggers a
+report flooded to the domain's border routers; a new source's data is
+initially flooded domain-wide and pruned back. The data-path quirk the
+paper leans on (section 5.3): interior routers apply RPF checks against
+the source, so data entering at a border router that is *not* on the
+shortest path to the source must be encapsulated to the RPF border
+router before it can be injected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.migp.base import InjectionResult, MigpComponent
+from repro.topology.domain import BorderRouter, Domain
+
+
+class Dvmrp(MigpComponent):
+    """Distance Vector Multicast Routing Protocol (RFC 1075 model)."""
+
+    name = "dvmrp"
+
+    def __init__(self, domain, unicast_resolver=None):
+        super().__init__(domain, unicast_resolver)
+        self._seen_sources = set()
+
+    def _on_membership_change(self, group: int, joined: bool) -> None:
+        # A Domain Wide Report reaches every border router.
+        self.control_messages += max(1, len(self.domain.routers))
+        self.floods += 1
+
+    def inject(
+        self,
+        group: int,
+        via: Optional[BorderRouter],
+        source_domain: Optional[Domain],
+    ) -> InjectionResult:
+        result = super().inject(group, via, source_domain)
+        if (
+            via is not None
+            and source_domain is not None
+            and source_domain != self.domain
+        ):
+            rpf = self.rpf_router(source_domain)
+            if rpf is not None and rpf != via:
+                # Interior RPF checks would drop the packets; the
+                # entry router encapsulates them to the RPF border
+                # router, which injects them natively (section 5.3).
+                self.encapsulations += 1
+                result.encapsulated = True
+                result.decapsulating_router = rpf
+        if (source_domain, group) not in self._seen_sources:
+            # First data from this source floods the domain; border
+            # routers off the delivery tree prune back.
+            self._seen_sources.add((source_domain, group))
+            self.floods += 1
+            self.prunes += max(
+                0, len(self.domain.routers) - len(result.forward_routers) - 1
+            )
+        return result

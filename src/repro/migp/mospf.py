@@ -1,0 +1,22 @@
+"""MOSPF as an MIGP.
+
+Multicast OSPF (RFC 1584 model): group membership is flooded to every
+router in the domain via group-membership LSAs; each router then
+computes per-source shortest-path trees, so data needs no
+encapsulation but every membership change costs a domain-wide flood.
+"""
+
+from __future__ import annotations
+
+from repro.migp.base import MigpComponent
+
+
+class Mospf(MigpComponent):
+    """Multicast extensions to OSPF."""
+
+    name = "mospf"
+
+    def _on_membership_change(self, group: int, joined: bool) -> None:
+        # A group-membership LSA floods to all routers.
+        self.control_messages += max(1, len(self.domain.routers))
+        self.floods += 1

@@ -1,0 +1,20 @@
+"""A trivial MIGP for stub domains.
+
+Single-router (or single-LAN) domains need no interior routing: the
+border router delivers straight onto the local network. Joining and
+leaving are free (IGMP on the LAN is not modelled at this level).
+"""
+
+from __future__ import annotations
+
+from repro.migp.base import MigpComponent
+
+
+class StaticMigp(MigpComponent):
+    """Degenerate MIGP: direct delivery, no interior protocol."""
+
+    name = "static"
+
+    def _on_membership_change(self, group: int, joined: bool) -> None:
+        # IGMP-only; no routed control traffic inside the domain.
+        return

@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic event-driven simulator: a clock, an event heap,
+cancellable timers, named seeded random streams, and time-series /
+counter statistics collection. All protocol machinery in this library
+(BGP sessions, MASC claim timers, BGMP joins) is driven by this kernel.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.randomness import RandomStreams
+from repro.sim.stats import Counter, SummaryStats, TimeSeries, summarize
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RandomStreams",
+    "Counter",
+    "SummaryStats",
+    "TimeSeries",
+    "summarize",
+]

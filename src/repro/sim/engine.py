@@ -1,0 +1,148 @@
+"""The event loop.
+
+:class:`Simulator` owns the virtual clock and a heap of scheduled
+callbacks. Events at equal times fire in scheduling order (FIFO), which
+keeps runs deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback. Returned by :meth:`Simulator.schedule` so the
+    caller can cancel or inspect it."""
+
+    __slots__ = ("time", "callback", "args", "cancelled", "name")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        name: str = "",
+    ):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.name = name
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        label = self.name or getattr(self.callback, "__name__", "callback")
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, {label}{state})"
+
+
+class Simulator:
+    """A discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(10.0, handler, arg1, arg2)
+        sim.run(until=100.0)
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled (including cancelled ones not
+        yet discarded)."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from
+        now. ``delay`` must be non-negative."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback, *args, name=name)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        event = Event(time, callback, args, name=name)
+        heapq.heappush(self._heap, (time, next(self._sequence), event))
+        return event
+
+    def step(self) -> bool:
+        """Execute the next pending event. Returns False when idle."""
+        while self._heap:
+            time, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the heap drains, the clock passes ``until``, or
+        ``max_events`` more events have executed.
+
+        With ``until`` set, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so periodic samplers see a
+        well-defined end time.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return
+            time, _, event = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = time
+            self._processed += 1
+            event.callback(*event.args)
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock keeps its value)."""
+        self._heap.clear()

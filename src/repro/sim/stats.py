@@ -1,0 +1,207 @@
+"""Statistics collection.
+
+Time series sampled against the simulation clock, simple counters, and
+summary statistics used by the experiment drivers to report the curves
+in the paper's figures (utilization over time, G-RIB size over time,
+path-length ratios).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class TimeSeries:
+    """An append-only (time, value) series."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample. Times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time went backwards: {time} < {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    @property
+    def times(self) -> Sequence[float]:
+        """Sample times."""
+        return tuple(self._times)
+
+    @property
+    def values(self) -> Sequence[float]:
+        """Sample values."""
+        return tuple(self._values)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self):
+        return iter(zip(self._times, self._values))
+
+    def last(self) -> Tuple[float, float]:
+        """The most recent (time, value) sample."""
+        if not self._times:
+            raise IndexError("empty time series")
+        return self._times[-1], self._values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Step-function lookup: the last recorded value at or before
+        ``time``."""
+        if not self._times or time < self._times[0]:
+            raise ValueError(f"no sample at or before t={time}")
+        lo, hi = 0, len(self._times) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._times[mid] <= time:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self._values[lo]
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series with start <= time <= end."""
+        clipped = TimeSeries(self.name)
+        for time, value in self:
+            if start <= time <= end:
+                clipped.record(time, value)
+        return clipped
+
+    def summary(self) -> "SummaryStats":
+        """Summary statistics over the sampled values."""
+        return summarize(self._values)
+
+    def max(self) -> float:
+        """Maximum sampled value."""
+        return max(self._values)
+
+    def mean(self) -> float:
+        """Mean of sampled values (unweighted by time)."""
+        return sum(self._values) / len(self._values)
+
+
+class Counter:
+    """A named monotonic event counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0: {amount}")
+        self.count += amount
+
+    def __int__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.count})"
+
+
+class SummaryStats:
+    """min / max / mean / median / stddev of a sample."""
+
+    __slots__ = ("count", "minimum", "maximum", "mean", "median", "stddev")
+
+    def __init__(
+        self,
+        count: int,
+        minimum: float,
+        maximum: float,
+        mean: float,
+        median: float,
+        stddev: float,
+    ):
+        self.count = count
+        self.minimum = minimum
+        self.maximum = maximum
+        self.mean = mean
+        self.median = median
+        self.stddev = stddev
+
+    def __repr__(self) -> str:
+        return (
+            f"SummaryStats(n={self.count}, min={self.minimum:.4g}, "
+            f"max={self.maximum:.4g}, mean={self.mean:.4g}, "
+            f"median={self.median:.4g}, stddev={self.stddev:.4g})"
+        )
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Compute summary statistics. Raises ValueError on an empty sample."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    count = len(data)
+    mean = sum(data) / count
+    if count % 2:
+        median = data[count // 2]
+    else:
+        median = (data[count // 2 - 1] + data[count // 2]) / 2
+    variance = sum((x - mean) ** 2 for x in data) / count
+    return SummaryStats(
+        count=count,
+        minimum=data[0],
+        maximum=data[-1],
+        mean=mean,
+        median=median,
+        stddev=math.sqrt(variance),
+    )
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile, ``fraction`` in [0, 1]."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction out of range: {fraction}")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    position = fraction * (len(data) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return data[low]
+    weight = position - low
+    return data[low] * (1 - weight) + data[high] * weight
+
+
+class StatRegistry:
+    """A bag of named series and counters for one simulation run."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+        self._counters: Dict[str, Counter] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        """The series for ``name``, created on first use."""
+        found = self._series.get(name)
+        if found is None:
+            found = TimeSeries(name)
+            self._series[name] = found
+        return found
+
+    def counter(self, name: str) -> Counter:
+        """The counter for ``name``, created on first use."""
+        found = self._counters.get(name)
+        if found is None:
+            found = Counter(name)
+            self._counters[name] = found
+        return found
+
+    def all_series(self) -> Dict[str, TimeSeries]:
+        """All series by name."""
+        return dict(self._series)
+
+    def all_counters(self) -> Dict[str, Counter]:
+        """All counters by name."""
+        return dict(self._counters)

@@ -1,0 +1,304 @@
+"""Topology generators.
+
+Builders for every topology family used in the paper's evaluation:
+
+- :func:`kary_hierarchy` — the Figure 2 setup (50 top-level domains,
+  each with 50 children).
+- :func:`heterogeneous_hierarchy` — irregular hierarchies ("we also
+  examined more heterogeneous topologies with similar results").
+- :func:`transit_stub` — a classic transit-stub internet.
+- :func:`as_graph` — a sparse, power-law-ish AS-level graph comparable
+  to the 3326-node route-views-derived topology of Figure 4.
+- :func:`paper_figure1_topology` / :func:`paper_figure3_topology` — the
+  exact example scenarios from the paper's protocol walk-throughs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.topology.domain import Domain, DomainKind
+from repro.topology.network import Topology
+
+
+def linear_chain(length: int) -> Topology:
+    """``length`` domains in a line: AS0 - AS1 - ... Useful in tests."""
+    if length < 1:
+        raise ValueError("chain needs at least one domain")
+    topology = Topology()
+    previous: Optional[Domain] = None
+    for index in range(length):
+        domain = topology.add_domain(name=f"N{index}")
+        if previous is not None:
+            topology.connect_domains(previous, domain)
+        previous = domain
+    return topology
+
+
+def kary_hierarchy(
+    top_count: int = 50,
+    child_count: int = 50,
+    mesh_top_level: bool = True,
+) -> Topology:
+    """The Figure 2 topology: ``top_count`` backbone domains, each the
+    provider of ``child_count`` child domains.
+
+    Top-level domains are interconnected (full mesh by default) so the
+    topology is a single connected internetwork; each child has exactly
+    one provider, which becomes its MASC parent.
+    """
+    if top_count < 1 or child_count < 0:
+        raise ValueError("need at least one top-level domain")
+    topology = Topology()
+    tops: List[Domain] = []
+    for t in range(top_count):
+        top = topology.add_domain(name=f"T{t}", kind=DomainKind.BACKBONE)
+        tops.append(top)
+    if mesh_top_level:
+        for i, a in enumerate(tops):
+            for b in tops[i + 1:]:
+                topology.connect_domains(a, b)
+    else:
+        for a, b in zip(tops, tops[1:]):
+            topology.connect_domains(a, b)
+    for t, top in enumerate(tops):
+        for c in range(child_count):
+            child = topology.add_domain(
+                name=f"T{t}C{c}", kind=DomainKind.STUB
+            )
+            topology.provider_link(top, child)
+    return topology
+
+
+def heterogeneous_hierarchy(
+    rng: random.Random,
+    top_count: int = 20,
+    max_children: int = 80,
+    grandchild_probability: float = 0.3,
+    max_grandchildren: int = 10,
+) -> Topology:
+    """An irregular provider hierarchy: top-level domains with a random
+    number of children, some of which have children of their own.
+
+    The paper reports Figure 2's results hold on such topologies; the
+    matching ablation bench regenerates that claim.
+    """
+    topology = Topology()
+    tops: List[Domain] = []
+    for t in range(top_count):
+        top = topology.add_domain(name=f"B{t}", kind=DomainKind.BACKBONE)
+        tops.append(top)
+    for a, b in zip(tops, tops[1:]):
+        topology.connect_domains(a, b)
+    # A few extra backbone cross-links so the mesh is not a bare chain.
+    for _ in range(max(1, top_count // 2)):
+        a, b = rng.sample(tops, 2)
+        if b not in a.peers and b not in [
+            d for d in topology.neighbors(a)
+        ]:
+            topology.connect_domains(a, b)
+    serial = 0
+    for top in tops:
+        for _ in range(rng.randint(1, max_children)):
+            child = topology.add_domain(
+                name=f"R{serial}", kind=DomainKind.REGIONAL
+            )
+            serial += 1
+            topology.provider_link(top, child)
+            if rng.random() < grandchild_probability:
+                for _ in range(rng.randint(1, max_grandchildren)):
+                    grandchild = topology.add_domain(
+                        name=f"S{serial}", kind=DomainKind.STUB
+                    )
+                    serial += 1
+                    topology.provider_link(child, grandchild)
+    return topology
+
+
+def transit_stub(
+    rng: random.Random,
+    transit_count: int = 8,
+    stubs_per_transit: int = 12,
+    extra_stub_links: int = 6,
+) -> Topology:
+    """A transit-stub internetwork: a connected core of transit domains,
+    each serving a set of stub domains, plus a few stub-stub shortcuts.
+    """
+    topology = Topology()
+    transits: List[Domain] = []
+    for t in range(transit_count):
+        transit = topology.add_domain(
+            name=f"X{t}", kind=DomainKind.BACKBONE
+        )
+        transits.append(transit)
+    # Backbone cores are fully meshed settlement-free peers: with
+    # valley-free (Gao-Rexford) export, every transit must hear every
+    # other transit's customer routes directly.
+    for i, a in enumerate(transits):
+        for b in transits[i + 1:]:
+            topology.connect_domains(a, b)
+            a.add_peer(b)
+    stubs: List[Domain] = []
+    for t, transit in enumerate(transits):
+        for s in range(stubs_per_transit):
+            stub = topology.add_domain(
+                name=f"X{t}S{s}", kind=DomainKind.STUB
+            )
+            stubs.append(stub)
+            topology.provider_link(transit, stub)
+    for _ in range(extra_stub_links):
+        a, b = rng.sample(stubs, 2)
+        if b not in topology.neighbors(a):
+            topology.connect_domains(a, b)
+            a.add_peer(b)
+    return topology
+
+
+def as_graph(
+    rng: random.Random,
+    node_count: int = 3326,
+    extra_link_fraction: float = 0.35,
+) -> Topology:
+    """A route-views-like AS graph (the Figure 4 substrate).
+
+    Grown by preferential attachment: each new domain attaches to one
+    existing domain chosen proportionally to degree (its provider), and
+    a fraction of domains add a second, likewise-preferential link
+    (multi-homing / peering). The result is sparse (average degree
+    ~2.7), highly skewed (a few hub backbones), and has the short
+    path lengths characteristic of the 1998 route-views topology.
+    """
+    if node_count < 3:
+        raise ValueError("AS graph needs at least 3 domains")
+    topology = Topology()
+    first = topology.add_domain(name="AS0", kind=DomainKind.BACKBONE)
+    second = topology.add_domain(name="AS1", kind=DomainKind.BACKBONE)
+    third = topology.add_domain(name="AS2", kind=DomainKind.BACKBONE)
+    topology.connect_domains(first, second)
+    topology.connect_domains(second, third)
+    topology.connect_domains(first, third)
+    # Repeated-endpoint list implements preferential attachment: a
+    # domain appears once per link end, so sampling uniformly from it
+    # picks domains proportionally to degree.
+    endpoints: List[Domain] = [
+        first, second, first, third, second, third
+    ]
+    domains = [first, second, third]
+    for index in range(3, node_count):
+        domain = topology.add_domain(name=f"AS{index}")
+        provider = rng.choice(endpoints)
+        topology.provider_link(provider, domain)
+        endpoints.extend((provider, domain))
+        if rng.random() < extra_link_fraction:
+            other = rng.choice(endpoints)
+            if other is not domain and other not in topology.neighbors(domain):
+                topology.connect_domains(other, domain)
+                other.add_customer(domain)
+                endpoints.extend((other, domain))
+        domains.append(domain)
+    _classify_by_degree(topology)
+    return topology
+
+
+def _classify_by_degree(topology: Topology) -> None:
+    """Label domains backbone / regional / stub by degree rank."""
+    ranked = sorted(
+        topology.domains, key=lambda d: topology.degree(d), reverse=True
+    )
+    backbone_cut = max(1, len(ranked) // 100)
+    regional_cut = max(backbone_cut + 1, len(ranked) // 10)
+    for rank, domain in enumerate(ranked):
+        if rank < backbone_cut:
+            domain.kind = DomainKind.BACKBONE
+        elif rank < regional_cut:
+            domain.kind = DomainKind.REGIONAL
+        else:
+            domain.kind = DomainKind.STUB
+
+
+def paper_figure1_topology() -> Topology:
+    """The exact Figure 1 scenario: backbones A, D, E; regionals B, C
+    (customers of A); stubs F (customer of B) and G (customer of C).
+
+    Border router names match the figure (A1..A4, B1, B2, ...).
+    """
+    topology = Topology()
+    a = topology.add_domain(name="A", kind=DomainKind.BACKBONE)
+    b = topology.add_domain(name="B", kind=DomainKind.REGIONAL)
+    c = topology.add_domain(name="C", kind=DomainKind.REGIONAL)
+    d = topology.add_domain(name="D", kind=DomainKind.BACKBONE)
+    e = topology.add_domain(name="E", kind=DomainKind.BACKBONE)
+    f = topology.add_domain(name="F", kind=DomainKind.STUB)
+    g = topology.add_domain(name="G", kind=DomainKind.STUB)
+
+    topology.connect(e.router("E1"), a.router("A1"))
+    topology.connect(d.router("D1"), a.router("A4"))
+    a.add_peer(d)
+    a.add_peer(e)
+
+    topology.connect(b.router("B1"), a.router("A3"))
+    a.add_customer(b)
+    topology.connect(c.router("C1"), a.router("A2"))
+    a.add_customer(c)
+
+    topology.connect(f.router("F1"), b.router("B2"))
+    b.add_customer(f)
+    topology.connect(g.router("G1"), c.router("C2"))
+    c.add_customer(g)
+    return topology
+
+
+def paper_figure3_topology() -> Topology:
+    """The Figure 3 scenario used in the BGMP walk-throughs.
+
+    Extends Figure 1 with domains G and H re-arranged per Figure 3:
+    F is multihomed (F1 to B2, F2 to A4), G is a customer of B, and H
+    hangs off G (with footnote 10's H-G-B-A-D path shape).
+    """
+    topology = Topology()
+    a = topology.add_domain(name="A", kind=DomainKind.BACKBONE)
+    b = topology.add_domain(name="B", kind=DomainKind.REGIONAL)
+    c = topology.add_domain(name="C", kind=DomainKind.REGIONAL)
+    d = topology.add_domain(name="D", kind=DomainKind.BACKBONE)
+    e = topology.add_domain(name="E", kind=DomainKind.BACKBONE)
+    f = topology.add_domain(name="F", kind=DomainKind.STUB)
+    g = topology.add_domain(name="G", kind=DomainKind.STUB)
+    h = topology.add_domain(name="H", kind=DomainKind.STUB)
+
+    topology.connect(e.router("E1"), a.router("A1"))
+    topology.connect(d.router("D1"), a.router("A4"))
+    a.add_peer(d)
+    a.add_peer(e)
+
+    topology.connect(b.router("B1"), a.router("A3"))
+    a.add_customer(b)
+    topology.connect(c.router("C1"), a.router("A2"))
+    a.add_customer(c)
+
+    # F is multihomed: shared-tree connectivity via B, and a direct
+    # link to backbone A (the encapsulation example needs the shortest
+    # path from F to D to run through F2-A4).
+    topology.connect(f.router("F1"), b.router("B2"))
+    b.add_customer(f)
+    topology.connect(f.router("F2"), a.router("A4"))
+    a.add_customer(f)
+
+    topology.connect(g.router("G1"), b.router("B2"))
+    b.add_customer(g)
+    topology.connect(h.router("H1"), g.router("G2"))
+    g.add_customer(h)
+    topology.connect(h.router("H2"), c.router("C2"))
+    c.add_customer(h)
+    return topology
+
+
+def pick_random_domains(
+    topology: Topology, rng: random.Random, count: int
+) -> Sequence[Domain]:
+    """Sample ``count`` distinct domains uniformly at random."""
+    if count > len(topology):
+        raise ValueError(
+            f"cannot sample {count} from {len(topology)} domains"
+        )
+    return rng.sample(topology.domains, count)

@@ -1,0 +1,180 @@
+"""The MASC domain hierarchy.
+
+Section 4 of the paper: "MASC domains form a hierarchy that reflects
+the structure of the inter-domain topology. A domain that is a customer
+of other domains will choose one or more of those provider domains to
+be its MASC parent." Top-level domains have no parent and claim from
+the global multicast space.
+
+:func:`build_masc_hierarchy` derives the hierarchy from the topology's
+provider relationships (the "look at the default route" heuristic);
+explicit configuration is also supported, mirroring the paper's
+"the hierarchy can be configured" option.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.topology.domain import Domain
+from repro.topology.network import Topology
+
+
+class MascHierarchy:
+    """Parent/child structure over a set of domains.
+
+    Every domain has at most one parent (the paper allows several; one
+    is the common case and what the simulations use). Siblings are the
+    other children of a domain's parent; top-level domains are mutual
+    siblings (they all claim from the global space).
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Domain, Optional[Domain]] = {}
+        self._children: Dict[Domain, List[Domain]] = {}
+
+    def add(self, domain: Domain, parent: Optional[Domain] = None) -> None:
+        """Register a domain with an optional parent.
+
+        The parent must already be registered. Cycles are rejected.
+        """
+        if domain in self._parent:
+            raise ValueError(f"{domain.name} already in hierarchy")
+        if parent is not None:
+            if parent not in self._parent:
+                raise ValueError(
+                    f"parent {parent.name} not in hierarchy"
+                )
+            ancestor: Optional[Domain] = parent
+            while ancestor is not None:
+                if ancestor == domain:
+                    raise ValueError("hierarchy cycle detected")
+                ancestor = self._parent[ancestor]
+        self._parent[domain] = parent
+        self._children[domain] = []
+        if parent is not None:
+            self._children[parent].append(domain)
+
+    def reparent(self, domain: Domain, parent: Optional[Domain]) -> None:
+        """Move a domain under a new parent (e.g. after a provider
+        change)."""
+        if domain not in self._parent:
+            raise ValueError(f"{domain.name} not in hierarchy")
+        old = self._parent.pop(domain)
+        if old is not None:
+            self._children[old].remove(domain)
+        children = self._children.pop(domain)
+        try:
+            # Re-add performs the cycle check against the new parent.
+            self.add(domain, parent)
+        except ValueError:
+            # Restore the original placement before propagating.
+            self._parent[domain] = old
+            self._children[domain] = children
+            if old is not None:
+                self._children[old].append(domain)
+            raise
+        self._children[domain] = children
+
+    def parent(self, domain: Domain) -> Optional[Domain]:
+        """The domain's MASC parent, or None for top-level domains."""
+        return self._parent[domain]
+
+    def children(self, domain: Domain) -> List[Domain]:
+        """The domain's MASC children, in registration order."""
+        return list(self._children[domain])
+
+    def siblings(self, domain: Domain) -> List[Domain]:
+        """Other domains claiming from the same space.
+
+        For a child: the parent's other children. For a top-level
+        domain: the other top-level domains (all claim from 224/4).
+        """
+        parent = self._parent[domain]
+        if parent is None:
+            pool = self.top_level()
+        else:
+            pool = self._children[parent]
+        return [d for d in pool if d != domain]
+
+    def top_level(self) -> List[Domain]:
+        """Domains with no MASC parent, in registration order."""
+        return [d for d, p in self._parent.items() if p is None]
+
+    def domains(self) -> List[Domain]:
+        """All registered domains, in registration order."""
+        return list(self._parent)
+
+    def depth(self, domain: Domain) -> int:
+        """Distance to the hierarchy root (top-level domains are 0)."""
+        depth = 0
+        current = self._parent[domain]
+        while current is not None:
+            depth += 1
+            current = self._parent[current]
+        return depth
+
+    def descendants(self, domain: Domain) -> List[Domain]:
+        """All domains below ``domain``, depth-first."""
+        found: List[Domain] = []
+        stack = list(reversed(self._children[domain]))
+        while stack:
+            current = stack.pop()
+            found.append(current)
+            stack.extend(reversed(self._children[current]))
+        return found
+
+    def __contains__(self, domain: Domain) -> bool:
+        return domain in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+def build_masc_hierarchy(
+    topology: Topology,
+    parent_choice: str = "first",
+) -> MascHierarchy:
+    """Derive the MASC hierarchy from provider-customer relationships.
+
+    ``parent_choice`` selects among multiple providers: ``"first"``
+    (lowest domain id — deterministic) or ``"degree"`` (the provider
+    with the most neighbours, approximating "the biggest upstream").
+    """
+    if parent_choice not in ("first", "degree"):
+        raise ValueError(f"unknown parent choice {parent_choice!r}")
+    hierarchy = MascHierarchy()
+    # Insert in topological order (providers before customers) so the
+    # parent is always registered first. Domains in provider cycles are
+    # treated as top-level.
+    remaining = list(topology.domains)
+    registered = set()
+    progressed = True
+    while remaining and progressed:
+        progressed = False
+        deferred = []
+        for domain in remaining:
+            in_hierarchy_providers = [
+                p for p in domain.providers if p in registered
+            ]
+            if domain.providers and not in_hierarchy_providers:
+                deferred.append(domain)
+                continue
+            if not domain.providers:
+                hierarchy.add(domain, None)
+            else:
+                candidates = sorted(
+                    in_hierarchy_providers, key=lambda d: d.domain_id
+                )
+                if parent_choice == "degree":
+                    candidates.sort(
+                        key=lambda d: topology.degree(d), reverse=True
+                    )
+                hierarchy.add(domain, candidates[0])
+            registered.add(domain)
+            progressed = True
+        remaining = deferred
+    for domain in remaining:
+        # Provider cycle: break it by making the domain top-level.
+        hierarchy.add(domain, None)
+    return hierarchy

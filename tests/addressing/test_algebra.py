@@ -1,0 +1,101 @@
+"""Algebraic laws of the prefix machinery (property-based).
+
+These invariants are what the whole allocation stack leans on:
+parent/children are inverses, buddy is an involution, coalesce is
+idempotent and coverage-preserving, and the claim rule's "first
+sub-prefix" choice nests correctly.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing.ipv4 import format_address, parse_address
+from repro.addressing.prefix import MULTICAST_SPACE, Prefix, coalesce
+
+
+@st.composite
+def prefixes(draw, min_length=1, max_length=30):
+    length = draw(st.integers(min_value=min_length, max_value=max_length))
+    value = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+    return Prefix(value << (32 - length), length)
+
+
+@st.composite
+def addresses(draw):
+    return draw(st.integers(min_value=0, max_value=(1 << 32) - 1))
+
+
+class TestPrefixAlgebra:
+    @given(prefixes())
+    def test_parent_children_inverse(self, prefix):
+        low, high = prefix.parent().children()
+        assert prefix in (low, high)
+
+    @given(prefixes())
+    def test_children_partition_parent(self, prefix):
+        if prefix.length == 32:
+            return
+        low, high = prefix.children()
+        assert low.size + high.size == prefix.size
+        assert not low.overlaps(high)
+        assert prefix.contains(low) and prefix.contains(high)
+
+    @given(prefixes())
+    def test_buddy_involution(self, prefix):
+        assert prefix.buddy().buddy() == prefix
+
+    @given(prefixes())
+    def test_buddy_shares_parent(self, prefix):
+        assert prefix.buddy().parent() == prefix.parent()
+        assert not prefix.overlaps(prefix.buddy())
+
+    @given(prefixes(max_length=24), st.integers(min_value=0, max_value=8))
+    def test_first_subprefix_nests(self, prefix, extra):
+        length = min(32, prefix.length + extra)
+        sub = prefix.first_subprefix(length)
+        assert prefix.contains(sub)
+        assert sub.network == prefix.network
+
+    @given(prefixes())
+    def test_str_parse_roundtrip(self, prefix):
+        assert Prefix.parse(str(prefix)) == prefix
+
+    @given(addresses())
+    def test_address_format_roundtrip(self, value):
+        assert parse_address(format_address(value)) == value
+
+    @given(prefixes(), addresses())
+    def test_contains_address_matches_range(self, prefix, value):
+        inside = prefix.network <= value <= prefix.last
+        assert prefix.contains_address(value) == inside
+
+
+class TestCoalesceLaws:
+    @settings(max_examples=50)
+    @given(st.lists(prefixes(min_length=4, max_length=12), max_size=10))
+    def test_idempotent(self, items):
+        once = coalesce(items)
+        assert coalesce(once) == once
+
+    @settings(max_examples=50)
+    @given(st.lists(prefixes(min_length=4, max_length=12), max_size=10))
+    def test_order_insensitive(self, items):
+        rng = random.Random(0)
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert coalesce(items) == coalesce(shuffled)
+
+    @settings(max_examples=50)
+    @given(st.lists(prefixes(min_length=4, max_length=10), max_size=8),
+           addresses())
+    def test_membership_preserved(self, items, probe):
+        before = any(p.contains_address(probe) for p in items)
+        after = any(
+            p.contains_address(probe) for p in coalesce(items)
+        )
+        assert before == after
+
+    def test_full_space_from_quarters(self):
+        quarters = list(MULTICAST_SPACE.iter_subprefixes(6))
+        assert coalesce(quarters) == [MULTICAST_SPACE]

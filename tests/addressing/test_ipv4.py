@@ -1,0 +1,115 @@
+"""Tests for IPv4 address arithmetic."""
+
+import pytest
+
+from repro.addressing.ipv4 import (
+    ADDRESS_BITS,
+    MAX_ADDRESS,
+    bit_at,
+    format_address,
+    is_multicast,
+    mask_bits,
+    parse_address,
+)
+
+
+class TestParseAddress:
+    def test_parses_multicast_base(self):
+        assert parse_address("224.0.0.0") == 0xE0000000
+
+    def test_parses_all_zero(self):
+        assert parse_address("0.0.0.0") == 0
+
+    def test_parses_all_ones(self):
+        assert parse_address("255.255.255.255") == MAX_ADDRESS
+
+    def test_parses_mixed_octets(self):
+        assert parse_address("128.9.0.1") == (128 << 24) | (9 << 16) | 1
+
+    def test_rejects_too_few_octets(self):
+        with pytest.raises(ValueError):
+            parse_address("224.0.0")
+
+    def test_rejects_too_many_octets(self):
+        with pytest.raises(ValueError):
+            parse_address("224.0.0.0.0")
+
+    def test_rejects_octet_over_255(self):
+        with pytest.raises(ValueError):
+            parse_address("224.0.0.256")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValueError):
+            parse_address("224.0.x.0")
+
+    def test_rejects_negative_octet(self):
+        with pytest.raises(ValueError):
+            parse_address("224.-1.0.0")
+
+
+class TestFormatAddress:
+    def test_formats_multicast_base(self):
+        assert format_address(0xE0000000) == "224.0.0.0"
+
+    def test_round_trips(self):
+        for text in ("0.0.0.0", "10.1.2.3", "224.0.128.1", "255.255.255.255"):
+            assert format_address(parse_address(text)) == text
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_address(-1)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            format_address(MAX_ADDRESS + 1)
+
+
+class TestMaskBits:
+    def test_zero_length_is_zero(self):
+        assert mask_bits(0) == 0
+
+    def test_full_length_is_all_ones(self):
+        assert mask_bits(ADDRESS_BITS) == MAX_ADDRESS
+
+    def test_class_d_mask(self):
+        assert mask_bits(4) == 0xF0000000
+
+    def test_slash_24(self):
+        assert mask_bits(24) == 0xFFFFFF00
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mask_bits(33)
+        with pytest.raises(ValueError):
+            mask_bits(-1)
+
+
+class TestIsMulticast:
+    def test_class_d_start(self):
+        assert is_multicast(parse_address("224.0.0.0"))
+
+    def test_class_d_end(self):
+        assert is_multicast(parse_address("239.255.255.255"))
+
+    def test_unicast_is_not(self):
+        assert not is_multicast(parse_address("128.9.0.1"))
+
+    def test_class_e_is_not(self):
+        assert not is_multicast(parse_address("240.0.0.0"))
+
+
+class TestBitAt:
+    def test_msb_of_multicast(self):
+        addr = parse_address("224.0.0.0")  # 1110...
+        assert bit_at(addr, 0) == 1
+        assert bit_at(addr, 1) == 1
+        assert bit_at(addr, 2) == 1
+        assert bit_at(addr, 3) == 0
+
+    def test_lsb(self):
+        assert bit_at(1, 31) == 1
+        assert bit_at(0, 31) == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_at(0, 32)

@@ -1,0 +1,129 @@
+"""Tests for lease (lifetime) bookkeeping."""
+
+import pytest
+
+from repro.addressing.leases import Lease, LeaseTable
+from repro.addressing.prefix import Prefix
+
+
+P24 = Prefix.parse("224.0.1.0/24")
+P25 = Prefix.parse("224.0.2.0/25")
+P26 = Prefix.parse("224.0.3.0/26")
+
+
+class TestLease:
+    def test_active_before_expiry(self):
+        lease = Lease(P24, expires_at=100.0)
+        assert lease.active_at(99.9)
+        assert not lease.active_at(100.0)
+
+    def test_remaining(self):
+        lease = Lease(P24, expires_at=100.0)
+        assert lease.remaining(40.0) == 60.0
+        assert lease.remaining(120.0) == -20.0
+
+
+class TestLeaseTable:
+    def test_add_and_get(self):
+        table = LeaseTable()
+        table.add(P24, 100.0, holder="B")
+        lease = table.get(P24)
+        assert lease is not None
+        assert lease.holder == "B"
+        assert P24 in table
+        assert len(table) == 1
+
+    def test_add_same_prefix_renews(self):
+        table = LeaseTable()
+        table.add(P24, 100.0)
+        table.add(P24, 200.0)
+        assert len(table) == 1
+        assert table.get(P24).expires_at == 200.0
+
+    def test_renew_never_shortens(self):
+        table = LeaseTable()
+        table.add(P24, 300.0)
+        table.renew(P24, 100.0)
+        assert table.get(P24).expires_at == 300.0
+
+    def test_renew_missing_raises(self):
+        with pytest.raises(KeyError):
+            LeaseTable().renew(P24, 100.0)
+
+    def test_remove(self):
+        table = LeaseTable()
+        table.add(P24, 100.0)
+        removed = table.remove(P24)
+        assert removed.prefix == P24
+        assert P24 not in table
+
+    def test_next_expiry_ordering(self):
+        table = LeaseTable()
+        table.add(P24, 300.0)
+        table.add(P25, 100.0)
+        table.add(P26, 200.0)
+        assert table.next_expiry() == 100.0
+
+    def test_next_expiry_after_renewal(self):
+        table = LeaseTable()
+        table.add(P24, 100.0)
+        table.add(P25, 150.0)
+        table.renew(P24, 500.0)
+        # The stale 100.0 entry must be skipped.
+        assert table.next_expiry() == 150.0
+
+    def test_next_expiry_empty(self):
+        assert LeaseTable().next_expiry() is None
+
+    def test_expire_removes_due(self):
+        table = LeaseTable()
+        table.add(P24, 100.0)
+        table.add(P25, 200.0)
+        expired = table.expire(150.0)
+        assert [l.prefix for l in expired] == [P24]
+        assert P24 not in table
+        assert P25 in table
+
+    def test_expire_boundary_inclusive(self):
+        table = LeaseTable()
+        table.add(P24, 100.0)
+        assert [l.prefix for l in table.expire(100.0)] == [P24]
+
+    def test_expire_ignores_renewed(self):
+        table = LeaseTable()
+        table.add(P24, 100.0)
+        table.renew(P24, 300.0)
+        assert table.expire(150.0) == []
+        assert P24 in table
+
+    def test_expire_nothing_due(self):
+        table = LeaseTable()
+        table.add(P24, 100.0)
+        assert table.expire(50.0) == []
+
+    def test_active_listing(self):
+        table = LeaseTable()
+        table.add(P25, 200.0)
+        table.add(P24, 100.0)
+        active = table.active(50.0)
+        assert [l.prefix for l in active] == sorted([P24, P25])
+        assert [l.prefix for l in table.active(150.0)] == [P25]
+
+    def test_prefixes_sorted(self):
+        table = LeaseTable()
+        table.add(P26, 1.0)
+        table.add(P24, 1.0)
+        assert table.prefixes() == sorted([P24, P26])
+
+    def test_iteration(self):
+        table = LeaseTable()
+        table.add(P24, 100.0)
+        table.add(P25, 200.0)
+        assert {l.prefix for l in table} == {P24, P25}
+
+    def test_remove_then_expire_skips_stale_heap_entry(self):
+        table = LeaseTable()
+        table.add(P24, 100.0)
+        table.remove(P24)
+        assert table.expire(200.0) == []
+        assert table.next_expiry() is None

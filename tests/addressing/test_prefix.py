@@ -1,0 +1,272 @@
+"""Tests for the Prefix value type and CIDR aggregation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import (
+    MULTICAST_SPACE,
+    Prefix,
+    aggregate_prefixes,
+    coalesce,
+    find_covering,
+)
+
+
+def prefixes(min_length=0, max_length=32, space=None):
+    """Hypothesis strategy for prefixes, optionally inside a space."""
+    if space is None:
+        base, base_len = 0, 0
+    else:
+        base, base_len = space.network, space.length
+    lo = max(min_length, base_len)
+
+    @st.composite
+    def build(draw):
+        length = draw(st.integers(min_value=lo, max_value=max_length))
+        host_bits = 32 - length
+        offset_bits = length - base_len
+        offset = draw(
+            st.integers(min_value=0, max_value=(1 << offset_bits) - 1)
+        )
+        return Prefix(base | (offset << host_bits), length)
+
+    return build()
+
+
+class TestConstruction:
+    def test_parse_full(self):
+        p = Prefix.parse("224.0.1.0/24")
+        assert p.network == parse_address("224.0.1.0")
+        assert p.length == 24
+
+    def test_parse_shorthand(self):
+        assert Prefix.parse("228/6") == Prefix.parse("228.0.0.0/6")
+        assert Prefix.parse("224/4") == MULTICAST_SPACE
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Prefix(parse_address("224.0.1.1"), 24)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+
+    def test_rejects_missing_mask(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("224.0.0.0")
+
+    def test_from_block(self):
+        start = parse_address("224.0.1.0")
+        assert Prefix.from_block(start, 256) == Prefix.parse("224.0.1.0/24")
+
+    def test_from_block_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            Prefix.from_block(parse_address("224.0.1.128"), 256)
+
+    def test_from_block_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            Prefix.from_block(0, 3)
+
+    def test_str_round_trips(self):
+        p = Prefix.parse("224.0.128.0/24")
+        assert Prefix.parse(str(p)) == p
+
+
+class TestGeometry:
+    def test_size(self):
+        assert Prefix.parse("224.0.1.0/24").size == 256
+        assert MULTICAST_SPACE.size == 1 << 28
+
+    def test_last(self):
+        p = Prefix.parse("224.0.1.0/24")
+        assert p.last == parse_address("224.0.1.255")
+
+    def test_contains_address(self):
+        p = Prefix.parse("224.0.1.0/24")
+        assert p.contains_address(parse_address("224.0.1.7"))
+        assert not p.contains_address(parse_address("224.0.2.0"))
+
+    def test_contains_prefix(self):
+        parent = Prefix.parse("224.0.0.0/16")
+        child = Prefix.parse("224.0.128.0/24")
+        assert parent.contains(child)
+        assert not child.contains(parent)
+        assert parent.contains(parent)
+
+    def test_overlaps(self):
+        a = Prefix.parse("224.0.0.0/16")
+        b = Prefix.parse("224.0.128.0/24")
+        c = Prefix.parse("224.1.0.0/16")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_parent(self):
+        assert Prefix.parse("224.0.1.0/24").parent() == Prefix.parse(
+            "224.0.0.0/23"
+        )
+
+    def test_parent_of_root_fails(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 0).parent()
+
+    def test_buddy(self):
+        assert Prefix.parse("224.0.0.0/24").buddy() == Prefix.parse(
+            "224.0.1.0/24"
+        )
+        assert Prefix.parse("224.0.1.0/24").buddy() == Prefix.parse(
+            "224.0.0.0/24"
+        )
+
+    def test_children(self):
+        low, high = Prefix.parse("224.0.0.0/23").children()
+        assert low == Prefix.parse("224.0.0.0/24")
+        assert high == Prefix.parse("224.0.1.0/24")
+
+    def test_first_subprefix(self):
+        space = Prefix.parse("228.0.0.0/6")
+        assert space.first_subprefix(22) == Prefix.parse("228.0.0.0/22")
+
+    def test_first_subprefix_rejects_shorter(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("228.0.0.0/6").first_subprefix(4)
+
+    def test_subprefix_at(self):
+        space = Prefix.parse("224.0.0.0/16")
+        assert space.subprefix_at(24, 0) == Prefix.parse("224.0.0.0/24")
+        assert space.subprefix_at(24, 255) == Prefix.parse("224.0.255.0/24")
+
+    def test_subprefix_at_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("224.0.0.0/16").subprefix_at(24, 256)
+
+    def test_iter_subprefixes(self):
+        space = Prefix.parse("224.0.0.0/30")
+        subs = list(space.iter_subprefixes(32))
+        assert len(subs) == 4
+        assert subs[0].network == space.network
+        assert subs[-1].network == space.last
+
+    def test_paper_example_nonoverlapping_slash6(self):
+        # From section 4.3.3: with 224.0.1/24 and 239/8 allocated out of
+        # 224/4, the largest free sub-prefixes are 228/6 and 232/6.
+        taken = [Prefix.parse("224.0.1.0/24"), Prefix.parse("239.0.0.0/8")]
+        frees = [
+            p
+            for p in MULTICAST_SPACE.iter_subprefixes(6)
+            if not any(p.overlaps(t) for t in taken)
+        ]
+        assert Prefix.parse("228.0.0.0/6") in frees
+        assert Prefix.parse("232.0.0.0/6") in frees
+
+
+class TestOrderingAndHashing:
+    def test_sort_order(self):
+        a = Prefix.parse("224.0.0.0/15")
+        b = Prefix.parse("224.0.0.0/16")
+        c = Prefix.parse("224.1.0.0/16")
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_hashable(self):
+        assert len({Prefix.parse("224/4"), Prefix.parse("224.0.0.0/4")}) == 1
+
+    def test_equality_with_other_types(self):
+        assert Prefix.parse("224/4") != "224/4"
+
+
+class TestCoalesce:
+    def test_merges_buddies(self):
+        merged = coalesce(
+            [Prefix.parse("128.8.0.0/16"), Prefix.parse("128.9.0.0/16")]
+        )
+        assert merged == [Prefix.parse("128.8.0.0/15")]
+
+    def test_drops_covered(self):
+        merged = coalesce(
+            [Prefix.parse("224.0.0.0/16"), Prefix.parse("224.0.128.0/24")]
+        )
+        assert merged == [Prefix.parse("224.0.0.0/16")]
+
+    def test_recursive_merge(self):
+        quads = [
+            Prefix.parse("224.0.0.0/24"),
+            Prefix.parse("224.0.1.0/24"),
+            Prefix.parse("224.0.2.0/24"),
+            Prefix.parse("224.0.3.0/24"),
+        ]
+        assert coalesce(quads) == [Prefix.parse("224.0.0.0/22")]
+
+    def test_non_buddies_stay_separate(self):
+        # 224.0.1/24 and 224.0.2/24 are adjacent but not buddies.
+        kept = coalesce(
+            [Prefix.parse("224.0.1.0/24"), Prefix.parse("224.0.2.0/24")]
+        )
+        assert len(kept) == 2
+
+    def test_empty(self):
+        assert coalesce([]) == []
+
+    def test_duplicates_collapse(self):
+        p = Prefix.parse("224.0.1.0/24")
+        assert coalesce([p, p]) == [p]
+
+    @given(st.lists(prefixes(space=MULTICAST_SPACE, max_length=16),
+                    max_size=12))
+    def test_coalesce_preserves_coverage(self, items):
+        merged = coalesce(items)
+        # Every input address range is covered by the output...
+        for item in items:
+            assert any(m.contains(item) for m in merged)
+        # ...and the output never covers addresses outside the input.
+        covered_in = sum(p.size for p in coalesce(items))
+        # Compute exact input coverage via a fine partition of distinct
+        # prefixes (dedup overlaps by keeping only maximal inputs).
+        maximal = [
+            p for p in set(items)
+            if not any(o != p and o.contains(p) for o in items)
+        ]
+        total = 0
+        seen = []
+        for p in sorted(maximal):
+            if not any(s.contains(p) for s in seen):
+                total += p.size
+                seen.append(p)
+        assert covered_in == total
+
+    @given(st.lists(prefixes(space=MULTICAST_SPACE, max_length=12),
+                    max_size=10))
+    def test_coalesce_output_disjoint(self, items):
+        merged = coalesce(items)
+        for i, a in enumerate(merged):
+            for b in merged[i + 1:]:
+                assert not a.overlaps(b)
+
+
+class TestAggregatePrefixes:
+    def test_parent_subsumes_children(self):
+        own = [Prefix.parse("224.0.0.0/16")]
+        children = [Prefix.parse("224.0.128.0/24")]
+        assert aggregate_prefixes(own, children) == own
+
+    def test_uncovered_child_passes_through(self):
+        own = [Prefix.parse("224.0.0.0/16")]
+        children = [Prefix.parse("225.1.0.0/24")]
+        result = aggregate_prefixes(own, children)
+        assert Prefix.parse("225.1.0.0/24") in result
+        assert Prefix.parse("224.0.0.0/16") in result
+
+
+class TestFindCovering:
+    def test_longest_match_wins(self):
+        table = [Prefix.parse("224.0.0.0/16"), Prefix.parse("224.0.128.0/24")]
+        hit = find_covering(table, parse_address("224.0.128.1"))
+        assert hit == Prefix.parse("224.0.128.0/24")
+
+    def test_shorter_match_when_specific_misses(self):
+        table = [Prefix.parse("224.0.0.0/16"), Prefix.parse("224.0.128.0/24")]
+        hit = find_covering(table, parse_address("224.0.1.1"))
+        assert hit == Prefix.parse("224.0.0.0/16")
+
+    def test_no_match(self):
+        assert find_covering([Prefix.parse("224.0.0.0/16")],
+                             parse_address("230.0.0.1")) is None

@@ -1,0 +1,117 @@
+"""Tests for the related-work baselines (HPIM, HDVMRP)."""
+
+import random
+
+from repro.analysis.related import (
+    BroadcastCost,
+    HpimTree,
+    bgmp_cost,
+    hdvmrp_cost,
+    hpim_lengths,
+    hpim_rp_chain,
+)
+from repro.analysis.trees import (
+    GroupScenario,
+    bidirectional_lengths,
+    shortest_path_lengths,
+)
+from repro.topology.generators import as_graph, linear_chain
+
+
+def random_scenario(seed=1, nodes=300, size=20):
+    topology = as_graph(random.Random(seed), node_count=nodes)
+    return GroupScenario.random(topology, random.Random(seed + 1), size)
+
+
+class TestHpim:
+    def test_rp_chain_deterministic(self):
+        scenario = random_scenario()
+        assert hpim_rp_chain(scenario) == hpim_rp_chain(scenario)
+
+    def test_rp_chain_levels(self):
+        scenario = random_scenario()
+        chain = hpim_rp_chain(scenario, levels=3)
+        assert 1 <= len(chain) <= 3
+        assert len(set(chain)) == len(chain)
+
+    def test_lengths_cover_receivers(self):
+        scenario = random_scenario()
+        lengths = hpim_lengths(scenario)
+        assert set(lengths) == set(scenario.receivers)
+        assert all(v >= 0 for v in lengths.values())
+
+    def test_lengths_at_least_shortest_path(self):
+        scenario = random_scenario(seed=3)
+        spt = shortest_path_lengths(scenario)
+        hpim = hpim_lengths(scenario)
+        for receiver in scenario.receivers:
+            assert hpim[receiver] >= spt[receiver]
+
+    def test_hash_placement_worse_for_clustered_groups(self):
+        # The paper's criticism: hash-chosen RPs have no locality. For
+        # regionally clustered groups a member-rooted BGMP tree stays
+        # local while HPIM's hashed RP drags traffic across the graph.
+        topology = as_graph(random.Random(21), node_count=400)
+        hpim_total = 0.0
+        bgmp_total = 0.0
+        rng = random.Random(22)
+        for _ in range(10):
+            scenario = GroupScenario.clustered(topology, rng, 12)
+            spt = shortest_path_lengths(scenario)
+            denominator = sum(v for v in spt.values() if v > 0)
+            if denominator == 0:
+                continue
+            hpim = hpim_lengths(scenario)
+            bgmp = bidirectional_lengths(scenario)
+            hpim_total += sum(
+                hpim[r] for r, v in spt.items() if v > 0
+            ) / denominator
+            bgmp_total += sum(
+                bgmp[r] for r, v in spt.items() if v > 0
+            ) / denominator
+        assert hpim_total > bgmp_total
+
+    def test_tree_object_reusable(self):
+        scenario = random_scenario(seed=5)
+        tree = HpimTree(scenario)
+        first = tree.lengths()
+        second = tree.lengths()
+        assert first == second
+
+
+class TestHdvmrpCosts:
+    def test_floods_everything(self):
+        scenario = random_scenario(seed=2, nodes=200, size=10)
+        cost = hdvmrp_cost(scenario)
+        assert cost.domains_touched == 200
+        assert cost.state_entries == 200
+        assert cost.member_domains == 10
+        assert cost.waste > 0.9
+
+    def test_bgmp_touches_tree_only(self):
+        scenario = random_scenario(seed=2, nodes=200, size=10)
+        cost = bgmp_cost(scenario)
+        assert cost.domains_touched < 200
+        assert cost.member_domains == 10
+        # The tree contains at least the member domains.
+        assert cost.domains_touched >= 10
+
+    def test_bgmp_much_cheaper_than_hdvmrp(self):
+        scenario = random_scenario(seed=4, nodes=400, size=10)
+        assert (
+            bgmp_cost(scenario).domains_touched
+            < hdvmrp_cost(scenario).domains_touched / 4
+        )
+
+    def test_waste_zero_when_everyone_is_member(self):
+        topology = linear_chain(4)
+        receivers = topology.domains
+        scenario = GroupScenario(
+            topology, receivers[0], receivers, receivers[1]
+        )
+        assert hdvmrp_cost(scenario).waste == 0.0
+
+    def test_broadcast_cost_dataclass(self):
+        cost = BroadcastCost(domains_touched=0, member_domains=0,
+                             state_entries=0)
+        assert cost.waste == 0.0

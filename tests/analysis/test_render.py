@@ -1,0 +1,91 @@
+"""Tests for ASCII tree rendering."""
+
+import pytest
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.analysis.render import (
+    render_bgmp_tree,
+    render_domain_tree,
+    render_masc_hierarchy,
+)
+from repro.bgmp.network import BgmpNetwork
+from repro.core.system import MulticastInternet
+from repro.topology.domain import Domain
+from repro.topology.generators import paper_figure3_topology
+
+GROUP = parse_address("224.0.128.1")
+
+
+class TestRenderDomainTree:
+    def test_single_node(self):
+        root = Domain(0, name="root")
+        assert render_domain_tree(root, lambda d: []) == "root"
+
+    def test_connectors(self):
+        root = Domain(0, name="R")
+        a = Domain(1, name="a")
+        b = Domain(2, name="b")
+        kids = {root: [a, b], a: [], b: []}
+        text = render_domain_tree(root, lambda d: kids[d])
+        lines = text.splitlines()
+        assert lines[0] == "R"
+        assert lines[1] == "|-- a"
+        assert lines[2] == "`-- b"
+
+    def test_nested_indentation(self):
+        root = Domain(0, name="R")
+        a = Domain(1, name="a")
+        leaf = Domain(2, name="leaf")
+        kids = {root: [a], a: [leaf], leaf: []}
+        text = render_domain_tree(root, lambda d: kids[d])
+        assert "`-- a" in text
+        assert "    `-- leaf" in text
+
+    def test_custom_label(self):
+        root = Domain(0, name="R")
+        text = render_domain_tree(
+            root, lambda d: [], label=lambda d: f"<{d.name}>"
+        )
+        assert text == "<R>"
+
+
+class TestRenderBgmpTree:
+    def test_figure3_tree(self):
+        topology = paper_figure3_topology()
+        net = BgmpNetwork(topology)
+        net.originate_group_range(
+            topology.domain("B"), Prefix.parse("224.0.128.0/24")
+        )
+        net.converge()
+        for name in ("C", "D", "F"):
+            net.join(topology.domain(name).host("m"), GROUP)
+        text = render_bgmp_tree(net, GROUP)
+        lines = text.splitlines()
+        assert lines[0] == "B"
+        assert any("A" in line for line in lines)
+        assert any("C (1 member)" in line for line in lines)
+        assert any("F (1 member)" in line for line in lines)
+
+    def test_unknown_group(self):
+        topology = paper_figure3_topology()
+        net = BgmpNetwork(topology)
+        net.converge()
+        assert "no root domain" in render_bgmp_tree(
+            net, parse_address("230.0.0.1")
+        )
+
+
+class TestRenderMascHierarchy:
+    def test_annotated_ranges(self):
+        topology = paper_figure3_topology()
+        internet = MulticastInternet(topology, seed=1)
+        internet.create_group(topology.domain("F").host("init"))
+        text = render_masc_hierarchy(internet)
+        assert "A  [" in text     # A claimed a covering range
+        assert "F  [" in text
+        # Every top-level domain appears.
+        for name in ("A", "D", "E"):
+            assert any(
+                line.startswith(name) for line in text.splitlines()
+            )

@@ -1,0 +1,32 @@
+"""Tests for text table rendering."""
+
+import pytest
+
+from repro.analysis.report import format_table
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        text = format_table(("a", "b"), [(1, 2.5), (10, 0.125)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].split() == ["a", "b"]
+        assert lines[2].split() == ["1", "2.500"]
+        assert lines[3].split() == ["10", "0.125"]
+
+    def test_precision(self):
+        text = format_table(("x",), [(1.23456,)], precision=1)
+        assert "1.2" in text
+
+    def test_wide_values_expand_columns(self):
+        text = format_table(("h",), [("a-very-long-cell",)])
+        lines = text.splitlines()
+        assert all(len(line) >= len("a-very-long-cell") for line in lines[1:])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_empty_rows(self):
+        text = format_table(("a",), [])
+        assert len(text.splitlines()) == 2

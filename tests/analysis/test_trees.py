@@ -1,0 +1,216 @@
+"""Tests for the Figure 4 tree models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.trees import (
+    BidirectionalTree,
+    GroupScenario,
+    bidirectional_lengths,
+    compare_trees,
+    hybrid_lengths,
+    shortest_path_lengths,
+    unidirectional_lengths,
+)
+from repro.topology.generators import as_graph, linear_chain
+from repro.topology.network import Topology
+
+
+def star_topology(leaf_count=4):
+    """A hub with leaves: distances are 1 (hub-leaf) or 2 (leaf-leaf)."""
+    topology = Topology()
+    hub = topology.add_domain(name="hub")
+    leaves = []
+    for index in range(leaf_count):
+        leaf = topology.add_domain(name=f"L{index}")
+        topology.connect_domains(hub, leaf)
+        leaves.append(leaf)
+    return topology, hub, leaves
+
+
+class TestGroupScenario:
+    def test_requires_receivers(self):
+        topology = linear_chain(3)
+        with pytest.raises(ValueError):
+            GroupScenario(topology, topology.domain("N0"), [],
+                          topology.domain("N1"))
+
+    def test_random_roots_at_initiator(self):
+        topology = linear_chain(10)
+        scenario = GroupScenario.random(topology, random.Random(0), 4)
+        assert scenario.root is scenario.receivers[0]
+        assert len(scenario.receivers) == 4
+
+
+class TestBidirectionalTree:
+    def test_tree_nodes_chain(self):
+        topology = linear_chain(5)
+        root = topology.domain("N0")
+        receiver = topology.domain("N4")
+        tree = BidirectionalTree(topology, root, [receiver])
+        assert len(tree) == 5  # whole chain
+        assert tree.edge_count() == 4
+
+    def test_tree_only_covers_needed_paths(self):
+        topology, hub, leaves = star_topology()
+        tree = BidirectionalTree(topology, leaves[0], [leaves[1]])
+        assert leaves[1] in tree and hub in tree and leaves[0] in tree
+        assert leaves[2] not in tree
+
+    def test_distance_on_tree(self):
+        topology = linear_chain(5)
+        tree = BidirectionalTree(
+            topology, topology.domain("N0"), [topology.domain("N4")]
+        )
+        assert tree.distance(topology.domain("N1"),
+                             topology.domain("N3")) == 2
+        assert tree.distance(topology.domain("N2"),
+                             topology.domain("N2")) == 0
+
+    def test_distance_rejects_off_tree(self):
+        topology, hub, leaves = star_topology()
+        tree = BidirectionalTree(topology, leaves[0], [leaves[1]])
+        with pytest.raises(ValueError):
+            tree.distance(leaves[0], leaves[2])
+
+    def test_entry_point_of_on_tree_source(self):
+        topology = linear_chain(5)
+        tree = BidirectionalTree(
+            topology, topology.domain("N0"), [topology.domain("N4")]
+        )
+        assert tree.entry_point(topology.domain("N2")) is topology.domain(
+            "N2"
+        )
+
+    def test_entry_point_of_off_tree_source(self):
+        topology, hub, leaves = star_topology()
+        tree = BidirectionalTree(topology, leaves[0], [leaves[1]])
+        # A source at leaf 2 walks to the hub, which is on the tree.
+        assert tree.entry_point(leaves[2]) is hub
+
+    def test_sender_distance(self):
+        topology, hub, leaves = star_topology()
+        tree = BidirectionalTree(topology, leaves[0], [leaves[1]])
+        # Source leaf2 -> hub (1 hop) -> leaf1 (1 hop).
+        assert tree.sender_distance(leaves[2], leaves[1]) == 2
+
+
+class TestPathLengthModels:
+    def test_shortest_path_lengths(self):
+        topology, hub, leaves = star_topology()
+        scenario = GroupScenario(
+            topology, leaves[0], [leaves[0], leaves[1]], leaves[2]
+        )
+        lengths = shortest_path_lengths(scenario)
+        assert lengths[leaves[0]] == 2
+        assert lengths[leaves[1]] == 2
+
+    def test_unidirectional_goes_via_root(self):
+        # Chain N0..N4, root N0, receiver N4, source N4's neighbour N3:
+        # unidirectional = d(N3,N0) + d(N0,N4) = 3 + 4 = 7, SPT = 1.
+        topology = linear_chain(5)
+        scenario = GroupScenario(
+            topology,
+            topology.domain("N0"),
+            [topology.domain("N4")],
+            topology.domain("N3"),
+        )
+        uni = unidirectional_lengths(scenario)
+        assert uni[topology.domain("N4")] == 7
+        spt = shortest_path_lengths(scenario)
+        assert spt[topology.domain("N4")] == 1
+
+    def test_bidirectional_shortcuts_root(self):
+        # Same scenario: the bidirectional tree covers the whole chain,
+        # so the source at N3 enters the tree at N3 and reaches N4 in
+        # one hop — no detour via the root.
+        topology = linear_chain(5)
+        scenario = GroupScenario(
+            topology,
+            topology.domain("N0"),
+            [topology.domain("N4")],
+            topology.domain("N3"),
+        )
+        bidir = bidirectional_lengths(scenario)
+        assert bidir[topology.domain("N4")] == 1
+
+    def test_hybrid_never_worse_than_bidirectional(self):
+        topology = as_graph(random.Random(5), node_count=300)
+        rng = random.Random(6)
+        for _ in range(10):
+            scenario = GroupScenario.random(topology, rng, 20)
+            tree = BidirectionalTree(
+                topology, scenario.root, scenario.receivers
+            )
+            bidir = bidirectional_lengths(scenario, tree)
+            hybrid = hybrid_lengths(scenario, tree)
+            for receiver in scenario.receivers:
+                assert hybrid[receiver] <= bidir[receiver]
+
+    def test_hybrid_at_least_shortest_path(self):
+        topology = as_graph(random.Random(7), node_count=300)
+        rng = random.Random(8)
+        for _ in range(10):
+            scenario = GroupScenario.random(topology, rng, 15)
+            spt = shortest_path_lengths(scenario)
+            hybrid = hybrid_lengths(scenario)
+            for receiver in scenario.receivers:
+                assert hybrid[receiver] >= spt[receiver]
+
+    def test_source_in_receiver_set(self):
+        topology = linear_chain(4)
+        receivers = [topology.domain("N1"), topology.domain("N3")]
+        scenario = GroupScenario(
+            topology, receivers[0], receivers, receivers[1]
+        )
+        spt = shortest_path_lengths(scenario)
+        assert spt[receivers[1]] == 0  # source delivers to itself
+        bidir = bidirectional_lengths(scenario)
+        assert bidir[receivers[1]] == 0
+
+
+class TestCompareTrees:
+    def test_single_receiver_at_source_is_unity(self):
+        topology = linear_chain(3)
+        only = topology.domain("N0")
+        scenario = GroupScenario(topology, only, [only], only)
+        comparisons = compare_trees(scenario)
+        for kind in ("unidirectional", "bidirectional", "hybrid"):
+            assert comparisons[kind].average_ratio == 1.0
+
+    def test_ratios_ordering_on_random_graphs(self):
+        topology = as_graph(random.Random(11), node_count=400)
+        rng = random.Random(12)
+        uni_sum = bidir_sum = hybrid_sum = 0.0
+        trials = 12
+        for _ in range(trials):
+            scenario = GroupScenario.random(topology, rng, 25)
+            comparisons = compare_trees(scenario)
+            uni_sum += comparisons["unidirectional"].average_ratio
+            bidir_sum += comparisons["bidirectional"].average_ratio
+            hybrid_sum += comparisons["hybrid"].average_ratio
+        # Figure 4's ordering: unidirectional >> bidirectional >= hybrid >= 1.
+        assert uni_sum > bidir_sum >= hybrid_sum >= trials * 1.0
+
+    def test_all_ratios_at_least_one_for_uni(self):
+        topology = as_graph(random.Random(13), node_count=200)
+        rng = random.Random(14)
+        scenario = GroupScenario.random(topology, rng, 10)
+        comparison = compare_trees(scenario)["unidirectional"]
+        assert all(r >= 1.0 for r in comparison.ratios)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=2, max_value=30))
+    def test_hybrid_ratio_bounded_by_bidirectional(self, seed, size):
+        topology = as_graph(random.Random(17), node_count=150)
+        rng = random.Random(seed)
+        scenario = GroupScenario.random(topology, rng, size)
+        comparisons = compare_trees(scenario)
+        assert (
+            comparisons["hybrid"].average_ratio
+            <= comparisons["bidirectional"].average_ratio + 1e-9
+        )
+        assert comparisons["hybrid"].average_ratio >= 1.0 - 1e-9

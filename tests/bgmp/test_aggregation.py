@@ -1,0 +1,114 @@
+"""Tests for BGMP forwarding-state aggregation (section 7)."""
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgmp.aggregation import (
+    aggregate_forwarding_state,
+    aggregated_size,
+    network_state_sizes,
+)
+from repro.bgmp.entries import ForwardingTable
+from repro.bgmp.network import BgmpNetwork
+from repro.bgmp.targets import MigpTarget, PeerTarget
+from repro.topology.domain import Domain
+from repro.topology.generators import paper_figure3_topology
+
+BASE = parse_address("224.0.128.0")
+
+
+def make_domains():
+    a = Domain(0, name="A")
+    b = Domain(1, name="B")
+    return a, b
+
+
+class TestAggregation:
+    def test_identical_targets_collapse(self):
+        a, b = make_domains()
+        table = ForwardingTable()
+        parent = PeerTarget(b.router("B1"))
+        for offset in range(8):
+            entry = table.create(BASE + offset, parent)
+            entry.add_child(MigpTarget(a))
+        aggregated = aggregate_forwarding_state(table)
+        assert len(aggregated) == 1
+        assert aggregated[0].prefixes == [Prefix(BASE, 29)]
+        assert aggregated_size(table) == 1
+        assert aggregated[0].group_count == 8
+
+    def test_different_children_stay_separate(self):
+        a, b = make_domains()
+        table = ForwardingTable()
+        parent = PeerTarget(b.router("B1"))
+        first = table.create(BASE, parent)
+        first.add_child(MigpTarget(a))
+        second = table.create(BASE + 1, parent)
+        second.add_child(PeerTarget(a.router("A1")))
+        assert aggregated_size(table) == 2
+
+    def test_child_order_irrelevant(self):
+        a, b = make_domains()
+        table = ForwardingTable()
+        e1 = table.create(BASE, None)
+        e1.add_child(MigpTarget(a))
+        e1.add_child(PeerTarget(b.router("B1")))
+        e2 = table.create(BASE + 1, None)
+        e2.add_child(PeerTarget(b.router("B1")))
+        e2.add_child(MigpTarget(a))
+        assert aggregated_size(table) == 1
+
+    def test_source_specific_kept_apart(self):
+        a, b = make_domains()
+        table = ForwardingTable()
+        table.create(BASE, PeerTarget(b.router("B1")))
+        table.create(BASE, PeerTarget(b.router("B1")), a)
+        aggregated = aggregate_forwarding_state(table)
+        assert len(aggregated) == 2
+        kinds = {e.source_domain for e in aggregated}
+        assert kinds == {None, a}
+
+    def test_non_contiguous_groups_need_multiple_prefixes(self):
+        a, b = make_domains()
+        table = ForwardingTable()
+        parent = PeerTarget(b.router("B1"))
+        for group in (BASE, BASE + 2):  # not buddies
+            entry = table.create(group, parent)
+            entry.add_child(MigpTarget(a))
+        aggregated = aggregate_forwarding_state(table)
+        assert len(aggregated) == 1
+        assert len(aggregated[0].prefixes) == 2
+        assert aggregated_size(table) == 2
+
+    def test_empty_table(self):
+        assert aggregate_forwarding_state(ForwardingTable()) == []
+        assert aggregated_size(ForwardingTable()) == 0
+
+
+class TestNetworkAggregation:
+    def test_many_groups_same_membership_collapse(self):
+        topology = paper_figure3_topology()
+        network = BgmpNetwork(topology)
+        network.originate_group_range(
+            topology.domain("B"), Prefix.parse("224.0.128.0/24")
+        )
+        network.converge()
+        # 16 consecutive groups, identical membership.
+        for offset in range(16):
+            group = BASE + offset
+            for name in ("C", "D", "F"):
+                network.join(
+                    topology.domain(name).host(f"m{offset}"), group
+                )
+        sizes = network_state_sizes(network)
+        assert sizes["flat"] > sizes["aggregated"]
+        # Identical membership per group: the per-router tables should
+        # aggregate close to a single (*,G-prefix) record each.
+        router_count = len(
+            {
+                r
+                for r in topology.routers()
+                if len(network.router_of(r).table)
+            }
+        )
+        assert sizes["aggregated"] <= router_count + 2
+        assert sizes["flat"] >= router_count * 16

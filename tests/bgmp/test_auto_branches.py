@@ -1,0 +1,86 @@
+"""Tests for automatic, data-driven source-specific branches."""
+
+import pytest
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgmp.network import BgmpNetwork
+from repro.topology.generators import paper_figure3_topology
+
+GROUP = parse_address("224.0.128.1")
+
+
+def build(auto):
+    topology = paper_figure3_topology()
+    net = BgmpNetwork(topology, auto_source_branches=auto)
+    net.originate_group_range(
+        topology.domain("A"), Prefix.parse("224.0.0.0/16")
+    )
+    net.bgp.originate(
+        topology.domain("B").router("B1"), Prefix.parse("224.0.128.0/24")
+    )
+    net.converge()
+    for name in ("B", "C", "D", "F", "H"):
+        net.join(topology.domain(name).host("m"), GROUP)
+    return topology, net
+
+
+class TestAutoSourceBranches:
+    def test_first_packet_encapsulates_second_does_not(self):
+        topology, net = build(auto=True)
+        sender = topology.domain("D").host("s")
+        first = net.send(sender, GROUP)
+        assert first.encapsulations == 2  # F and H, as in the paper
+        second = net.send(sender, GROUP)
+        assert second.encapsulations == 0
+        for name in ("B", "C", "F", "H"):
+            assert second.reached(topology.domain(name))
+        assert second.duplicates == 0
+
+    def test_branches_created_at_decap_routers(self):
+        topology, net = build(auto=True)
+        net.send(topology.domain("D").host("s"), GROUP)
+        d = topology.domain("D")
+        f2 = net.router_of(topology.domain("F").router("F2"))
+        h2 = net.router_of(topology.domain("H").router("H2"))
+        assert f2.table.get(GROUP, d) is not None
+        assert h2.table.get(GROUP, d) is not None
+
+    def test_disabled_keeps_encapsulating(self):
+        topology, net = build(auto=False)
+        sender = topology.domain("D").host("s")
+        assert net.send(sender, GROUP).encapsulations == 2
+        assert net.send(sender, GROUP).encapsulations == 2
+
+    def test_per_source_branches_independent(self):
+        topology, net = build(auto=True)
+        net.send(topology.domain("D").host("s"), GROUP)
+        # A different source still encapsulates on ITS first packet
+        # where paths diverge, then stops.
+        e_first = net.send(topology.domain("E").host("s"), GROUP)
+        e_second = net.send(topology.domain("E").host("s"), GROUP)
+        assert e_second.encapsulations <= e_first.encapsulations
+        assert e_second.duplicates == 0
+
+    def test_sparse_migp_never_grafts(self):
+        topology = paper_figure3_topology()
+        net = BgmpNetwork(
+            topology,
+            migp_selector=lambda d: "pim-sm",
+            auto_source_branches=True,
+        )
+        net.originate_group_range(
+            topology.domain("A"), Prefix.parse("224.0.0.0/16")
+        )
+        net.bgp.originate(
+            topology.domain("B").router("B1"),
+            Prefix.parse("224.0.128.0/24"),
+        )
+        net.converge()
+        for name in ("B", "C", "D", "F", "H"):
+            net.join(topology.domain(name).host("m"), GROUP)
+        net.send(topology.domain("D").host("s"), GROUP)
+        # No encapsulation under PIM-SM, hence no (S,G) branches.
+        d = topology.domain("D")
+        for router in topology.routers():
+            assert net.router_of(router).table.get(GROUP, d) is None

@@ -1,0 +1,154 @@
+"""Property-based end-to-end checks of the BGMP data plane.
+
+Invariants on random topologies, memberships and senders:
+
+- every member domain receives each packet at least once;
+- no member domain's hosts see duplicates;
+- senders need not be members (the IP service model);
+- complete teardown leaves zero forwarding state.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgmp.network import BgmpNetwork
+from repro.topology.generators import as_graph, transit_stub
+
+GROUP = parse_address("224.9.0.1")
+RANGE = Prefix.parse("224.9.0.0/24")
+
+
+def build_network(seed, kind="transit-stub"):
+    rng = random.Random(seed)
+    if kind == "transit-stub":
+        topology = transit_stub(rng, transit_count=4, stubs_per_transit=6)
+    else:
+        topology = as_graph(rng, node_count=60)
+    network = BgmpNetwork(topology)
+    root = topology.domains[rng.randrange(len(topology))]
+    network.originate_group_range(root, RANGE)
+    network.converge()
+    return topology, network, root
+
+
+class TestDeliveryInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1_000),
+        member_count=st.integers(min_value=1, max_value=10),
+        sender_seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_every_member_exactly_once(
+        self, seed, member_count, sender_seed
+    ):
+        topology, network, root = build_network(seed)
+        rng = random.Random(seed + 7)
+        member_domains = rng.sample(
+            topology.domains, min(member_count, len(topology))
+        )
+        for domain in member_domains:
+            assert network.join(domain.host("m"), GROUP)
+        sender_domain = topology.domains[
+            sender_seed % len(topology.domains)
+        ]
+        report = network.send(sender_domain.host("s"), GROUP)
+        for domain in member_domains:
+            assert report.deliveries.get(domain, 0) == 1, (
+                f"{domain.name} got {report.deliveries.get(domain, 0)} "
+                f"copies (root {root.name}, sender {sender_domain.name})"
+            )
+        assert report.duplicates == 0
+        assert report.dropped == 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_teardown_leaves_no_state(self, seed):
+        topology, network, root = build_network(seed)
+        rng = random.Random(seed + 13)
+        members = []
+        for domain in rng.sample(topology.domains, 6):
+            host = domain.host("m")
+            network.join(host, GROUP)
+            members.append(host)
+        rng.shuffle(members)
+        for host in members:
+            network.leave(host, GROUP)
+        assert network.forwarding_state_size() == 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_on_as_graph_topologies(self, seed):
+        topology, network, root = build_network(seed, kind="as-graph")
+        rng = random.Random(seed + 3)
+        member_domains = rng.sample(topology.domains, 5)
+        for domain in member_domains:
+            network.join(domain.host("m"), GROUP)
+        sender = rng.choice(topology.domains).host("s")
+        report = network.send(sender, GROUP)
+        for domain in member_domains:
+            assert report.deliveries.get(domain, 0) == 1
+        assert report.duplicates == 0
+
+    def test_repeat_sends_are_stable(self):
+        topology, network, root = build_network(42)
+        rng = random.Random(99)
+        for domain in rng.sample(topology.domains, 5):
+            network.join(domain.host("m"), GROUP)
+        sender = rng.choice(topology.domains).host("s")
+        first = network.send(sender, GROUP)
+        second = network.send(sender, GROUP)
+        assert first.deliveries == second.deliveries
+        assert first.external_hops == second.external_hops
+
+
+class TestTransitFraction:
+    def test_root_transit_fraction_unidirectional_is_one(self):
+        from repro.analysis.trees import (
+            GroupScenario,
+            root_transit_fraction,
+        )
+
+        topology = as_graph(random.Random(5), node_count=100)
+        scenario = GroupScenario.random(topology, random.Random(6), 10)
+        assert root_transit_fraction(scenario, "unidirectional") == 1.0
+
+    def test_root_transit_fraction_bidirectional_below_one(self):
+        from repro.analysis.trees import (
+            GroupScenario,
+            root_transit_fraction,
+        )
+
+        topology = as_graph(random.Random(5), node_count=200)
+        total = 0.0
+        rng = random.Random(6)
+        for _ in range(5):
+            scenario = GroupScenario.random(topology, rng, 15)
+            total += root_transit_fraction(
+                scenario, "bidirectional", rng=rng
+            )
+        assert total / 5 < 0.8
+
+    def test_single_member_fraction_zero(self):
+        from repro.analysis.trees import (
+            GroupScenario,
+            root_transit_fraction,
+        )
+
+        topology = as_graph(random.Random(5), node_count=50)
+        scenario = GroupScenario.random(topology, random.Random(1), 1)
+        assert root_transit_fraction(scenario, "bidirectional") == 0.0
+
+    def test_unknown_kind_rejected(self):
+        from repro.analysis.trees import (
+            GroupScenario,
+            root_transit_fraction,
+        )
+
+        topology = as_graph(random.Random(5), node_count=50)
+        scenario = GroupScenario.random(topology, random.Random(1), 3)
+        with pytest.raises(ValueError):
+            root_transit_fraction(scenario, "hybrid")

@@ -1,0 +1,111 @@
+"""Incongruent unicast/multicast topologies (sections 2 and 3).
+
+"The multicast routing protocol should work even if the unicast and
+multicast topologies are not congruent. This can be achieved by using
+the M-RIB information in BGP." We mark a link unicast-only: unicast
+routes keep using the short path, while group and M-RIB routes detour
+— and BGMP trees, RPF checks and source-specific joins all follow the
+multicast view.
+"""
+
+import pytest
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgmp.network import BgmpNetwork
+from repro.bgp.policy import PromiscuousPolicy
+from repro.bgp.network import BgpNetwork
+from repro.bgp.routes import RouteType
+from repro.topology.network import Topology
+
+GROUP = parse_address("224.5.0.1")
+RANGE = Prefix.parse("224.5.0.0/24")
+
+
+def diamond(unicast_only_direct=True):
+    """ROOT -- MEMBER directly (optionally unicast-only), and
+    ROOT -- VIA -- MEMBER as the all-capable detour."""
+    topology = Topology()
+    root = topology.add_domain(name="ROOT")
+    member = topology.add_domain(name="MEMBER")
+    via = topology.add_domain(name="VIA")
+    ra, rb = root.router("R-direct"), member.router("M-direct")
+    topology.connect(ra, rb, multicast_capable=not unicast_only_direct)
+    topology.connect_domains(root, via)
+    topology.connect_domains(via, member)
+    return topology, root, member, via
+
+
+@pytest.fixture
+def network():
+    topology, root, member, via = diamond()
+    net = BgmpNetwork(
+        topology, bgp=BgpNetwork(topology, policy=PromiscuousPolicy())
+    )
+    net.originate_group_range(root, RANGE)
+    net.converge()
+    return net, topology, root, member, via
+
+
+class TestIncongruentTopologies:
+    def test_unicast_uses_direct_link(self, network):
+        net, topology, root, member, via = network
+        route = net.bgp.speaker(member.router("M-direct")).loc_rib.lookup(
+            RouteType.UNICAST,
+            net.domain_unicast_prefix(root).network,
+        )
+        assert route is not None
+        assert route.next_hop.name == "R-direct"
+        assert len(route.as_path) == 1  # one hop: direct
+
+    def test_group_routes_detour(self, network):
+        net, topology, root, member, via = network
+        for router in member.routers.values():
+            hit = net.bgp.speaker(router).next_hop_for_group(GROUP)
+            assert hit is not None
+            # Two AS hops: the direct link carries no group routes.
+            assert hit.as_path[-1] == root.domain_id
+            if not hit.from_internal:
+                assert hit.next_hop.domain is via
+
+    def test_mrib_follows_multicast_topology(self, network):
+        net, topology, root, member, via = network
+        route = net.unicast_route(member.router("M-direct"), root)
+        assert route is not None
+        assert route.route_type is RouteType.MRIB
+        # The M-RIB path detours via VIA even though unicast is direct.
+        assert len(route.as_path) == 2
+
+    def test_tree_and_delivery_avoid_unicast_only_link(self, network):
+        net, topology, root, member, via = network
+        assert net.join(member.host("m"), GROUP)
+        tree_domains = {r.domain for r in net.tree_routers(GROUP)}
+        assert via in tree_domains
+        report = net.send(root.host("s"), GROUP)
+        assert report.reached(member)
+        assert report.duplicates == 0
+        # Data crossed two inter-domain links (the detour).
+        assert report.external_hops >= 2
+
+    def test_congruent_baseline_uses_direct_link(self):
+        topology, root, member, via = diamond(unicast_only_direct=False)
+        net = BgmpNetwork(
+            topology,
+            bgp=BgpNetwork(topology, policy=PromiscuousPolicy()),
+        )
+        net.originate_group_range(root, RANGE)
+        net.converge()
+        net.join(member.host("m"), GROUP)
+        tree_domains = {r.domain for r in net.tree_routers(GROUP)}
+        assert via not in tree_domains
+        report = net.send(root.host("s"), GROUP)
+        assert report.reached(member)
+        assert report.external_hops == 1
+
+    def test_capability_toggle(self):
+        topology, root, member, via = diamond()
+        a = root.router("R-direct")
+        b = member.router("M-direct")
+        assert not topology.multicast_capable(a, b)
+        topology.set_multicast_capable(a, b, True)
+        assert topology.multicast_capable(a, b)

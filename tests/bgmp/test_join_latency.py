@@ -1,0 +1,68 @@
+"""Tests for join-cost measurement (grafting vs full-walk joins)."""
+
+import pytest
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgmp.network import BgmpNetwork
+from repro.topology.generators import paper_figure3_topology
+
+GROUP = parse_address("224.0.128.1")
+
+
+@pytest.fixture
+def network():
+    topology = paper_figure3_topology()
+    net = BgmpNetwork(topology)
+    net.originate_group_range(
+        topology.domain("B"), Prefix.parse("224.0.128.0/24")
+    )
+    net.converge()
+    return net
+
+
+class TestJoinMeasured:
+    def test_first_join_pays_full_walk(self, network):
+        topology = network.topology
+        outcome = network.join_measured(
+            topology.domain("C").host("m"), GROUP
+        )
+        assert outcome.joined
+        # C1 -> A2 -> A3 -> B1: four routers instantiated state.
+        assert outcome.branch_length == 4
+        assert outcome.latency == pytest.approx(4 * 0.05)
+
+    def test_second_join_grafts_cheaply(self, network):
+        topology = network.topology
+        network.join(topology.domain("C").host("m1"), GROUP)
+        # D's join reuses the A spine: only A4 and D1 are new.
+        outcome = network.join_measured(
+            topology.domain("D").host("m2"), GROUP
+        )
+        assert outcome.joined
+        assert outcome.branch_length == 2
+        assert {r.name for r in outcome.new_routers} == {"A4", "D1"}
+
+    def test_same_domain_join_adds_nothing(self, network):
+        topology = network.topology
+        network.join(topology.domain("C").host("m1"), GROUP)
+        outcome = network.join_measured(
+            topology.domain("C").host("m2"), GROUP
+        )
+        assert outcome.joined
+        assert outcome.branch_length == 0
+        assert outcome.latency == 0.0
+
+    def test_unroutable_group(self, network):
+        topology = network.topology
+        outcome = network.join_measured(
+            topology.domain("C").host("m"), parse_address("239.9.9.9")
+        )
+        assert not outcome.joined
+
+    def test_custom_delay(self, network):
+        topology = network.topology
+        outcome = network.join_measured(
+            topology.domain("C").host("m"), GROUP, per_hop_delay=1.0
+        )
+        assert outcome.latency == pytest.approx(outcome.branch_length)

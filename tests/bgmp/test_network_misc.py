@@ -1,0 +1,99 @@
+"""Edge-case coverage for BgmpNetwork plumbing."""
+
+import pytest
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgmp.network import BgmpNetwork
+from repro.topology.domain import Domain
+from repro.topology.generators import paper_figure1_topology
+from repro.topology.network import Topology
+
+GROUP = parse_address("224.0.128.1")
+
+
+class TestUnicastPrefixPlan:
+    def test_prefix_derivation(self):
+        domain = Domain(3, name="X")
+        prefix = BgmpNetwork.domain_unicast_prefix(domain)
+        assert str(prefix) == "10.0.3.0/24"
+
+    def test_large_id(self):
+        domain = Domain(65535, name="big")
+        prefix = BgmpNetwork.domain_unicast_prefix(domain)
+        assert str(prefix) == "10.255.255.0/24"
+
+    def test_rejects_oversized_id(self):
+        with pytest.raises(ValueError):
+            BgmpNetwork.domain_unicast_prefix(Domain(1 << 16, name="x"))
+
+    def test_distinct_per_domain(self):
+        prefixes = {
+            str(BgmpNetwork.domain_unicast_prefix(Domain(i)))
+            for i in range(50)
+        }
+        assert len(prefixes) == 50
+
+
+class TestBestExit:
+    def test_no_route_returns_none(self):
+        topology = paper_figure1_topology()
+        network = BgmpNetwork(topology)
+        network.converge()
+        assert network.best_exit_router(
+            topology.domain("F"), GROUP
+        ) is None
+
+    def test_root_domain_exit_is_origin_router(self):
+        topology = paper_figure1_topology()
+        network = BgmpNetwork(topology)
+        b1 = topology.domain("B").router("B1")
+        network.bgp.originate(b1, Prefix.parse("224.0.128.0/24"))
+        network.converge()
+        assert network.best_exit_router(
+            topology.domain("B"), GROUP
+        ) is b1
+
+    def test_join_without_route_fails(self):
+        topology = paper_figure1_topology()
+        network = BgmpNetwork(topology)
+        network.converge()
+        host = topology.domain("F").host("m")
+        assert not network.join(host, GROUP)
+        # The MIGP membership is recorded regardless (the host did
+        # join locally; only the inter-domain graft failed).
+        assert network.migp_of(topology.domain("F")).has_members(GROUP)
+
+    def test_tree_routers_sorted(self):
+        topology = paper_figure1_topology()
+        network = BgmpNetwork(topology)
+        network.bgp.originate(
+            topology.domain("B").router("B1"),
+            Prefix.parse("224.0.128.0/24"),
+        )
+        network.converge()
+        for name in ("C", "D", "G"):
+            network.join(topology.domain(name).host("m"), GROUP)
+        routers = network.tree_routers(GROUP)
+        keys = [(r.domain.domain_id, r.name) for r in routers]
+        assert keys == sorted(keys)
+
+
+class TestRefreshGuard:
+    def test_refresh_raises_when_unstable(self):
+        # max_rounds=0 forces the stabilisation guard to trip whenever
+        # any migration is needed.
+        topology = paper_figure1_topology()
+        network = BgmpNetwork(topology)
+        network.originate_group_range(
+            topology.domain("A"), Prefix.parse("224.0.0.0/16")
+        )
+        network.converge()
+        network.join(topology.domain("C").host("m"), GROUP)
+        network.bgp.originate(
+            topology.domain("B").router("B1"),
+            Prefix.parse("224.0.128.0/24"),
+        )
+        network.converge()
+        with pytest.raises(RuntimeError):
+            network.refresh_trees(max_rounds=0)

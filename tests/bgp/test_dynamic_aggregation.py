@@ -1,0 +1,68 @@
+"""Dynamic aggregation: suppression follows the covering origination.
+
+Section 4.3.2's suppression is not static configuration — when a
+parent's covering range goes away (its MASC lifetime expired), the
+children's specifics must start propagating, and vice versa.
+"""
+
+import pytest
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgp.network import BgpNetwork
+from repro.topology.generators import paper_figure1_topology
+
+P16 = Prefix.parse("224.0.0.0/16")
+P24 = Prefix.parse("224.0.128.0/24")
+GROUP = parse_address("224.0.128.1")
+
+
+@pytest.fixture
+def network():
+    topology = paper_figure1_topology()
+    net = BgpNetwork(topology)
+    net.originate(topology.domain("A").router("A1"), P16)
+    net.originate(topology.domain("B").router("B1"), P24)
+    net.converge()
+    return topology, net
+
+
+class TestDynamicAggregation:
+    def test_aggregate_withdrawal_unsuppresses_specific(self, network):
+        topology, net = network
+        d1 = topology.domain("D").router("D1")
+        # Suppressed while A's aggregate stands.
+        assert [r.prefix for r in net.grib_of(d1)] == [P16]
+        # A's range expires: the /24 must now propagate, keeping the
+        # root domain reachable.
+        net.withdraw(topology.domain("A").router("A1"), P16)
+        net.converge()
+        prefixes = [r.prefix for r in net.grib_of(d1)]
+        assert prefixes == [P24]
+        hit = net.group_next_hop(d1, GROUP)
+        assert hit is not None
+        assert hit.origin_domain_id == topology.domain("B").domain_id
+
+    def test_new_aggregate_resuppresses(self, network):
+        topology, net = network
+        a1 = topology.domain("A").router("A1")
+        d1 = topology.domain("D").router("D1")
+        net.withdraw(a1, P16)
+        net.converge()
+        assert [r.prefix for r in net.grib_of(d1)] == [P24]
+        # A claims the covering range again: suppression resumes.
+        net.originate(a1, P16)
+        net.converge()
+        assert [r.prefix for r in net.grib_of(d1)] == [P16]
+
+    def test_internal_view_keeps_specific_throughout(self, network):
+        topology, net = network
+        a2 = topology.domain("A").router("A2")
+        # Inside A the specific is always present (needed to steer
+        # packets at the aggregation boundary).
+        hit = net.group_next_hop(a2, GROUP)
+        assert hit.prefix == P24
+        net.withdraw(topology.domain("A").router("A1"), P16)
+        net.converge()
+        hit = net.group_next_hop(a2, GROUP)
+        assert hit.prefix == P24

@@ -1,0 +1,208 @@
+"""Tests for the event-driven BGP engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgp.events import EventDrivenBgp
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.network import BgpNetwork
+from repro.bgp.routes import RouteType
+from repro.sim.engine import Simulator
+from repro.topology.generators import (
+    as_graph,
+    linear_chain,
+    paper_figure1_topology,
+    transit_stub,
+)
+
+PREFIX = Prefix.parse("226.1.0.0/16")
+ADDRESS = parse_address("226.1.2.3")
+
+
+class TestUpdateMessage:
+    def test_empty(self):
+        assert UpdateMessage().is_empty
+        assert not UpdateMessage(withdrawals=[(RouteType.GROUP, PREFIX)]).is_empty
+
+
+class TestPropagation:
+    def test_chain_propagation_takes_time(self):
+        from repro.bgp.policy import PromiscuousPolicy
+
+        topology = linear_chain(5)
+        sim = Simulator()
+        engine = EventDrivenBgp(
+            topology, sim, policy=PromiscuousPolicy(), external_delay=1.0
+        )
+        origin = topology.domain("N0")
+        engine.inject(origin.router(), PREFIX)
+        elapsed = engine.run_to_quiescence()
+        # Four inter-domain hops at 1.0 each (plus internal hops).
+        assert elapsed >= 4.0
+        last = topology.domain("N4").router()
+        assert engine.group_next_hop(last, ADDRESS) is not None
+
+    def test_partial_state_mid_flight(self):
+        from repro.bgp.policy import PromiscuousPolicy
+
+        topology = linear_chain(4)
+        sim = Simulator()
+        engine = EventDrivenBgp(
+            topology, sim, policy=PromiscuousPolicy(), external_delay=1.0
+        )
+        engine.inject(topology.domain("N0").router(), PREFIX)
+        sim.run(until=1.5)  # one external hop delivered
+        assert engine.group_next_hop(
+            topology.domain("N1").router("N1-to-N0"), ADDRESS
+        ) is not None
+        assert engine.group_next_hop(
+            topology.domain("N3").router(), ADDRESS
+        ) is None
+        engine.run_to_quiescence()
+        assert engine.group_next_hop(
+            topology.domain("N3").router(), ADDRESS
+        ) is not None
+
+    def test_withdrawal_propagates(self):
+        topology = linear_chain(4)
+        sim = Simulator()
+        engine = EventDrivenBgp(topology, sim)
+        origin = topology.domain("N0").router()
+        engine.inject(origin, PREFIX)
+        engine.run_to_quiescence()
+        assert engine.retract(origin, PREFIX)
+        engine.run_to_quiescence()
+        for domain in topology.domains:
+            assert engine.group_next_hop(
+                domain.router(), ADDRESS
+            ) is None
+
+    def test_counters(self):
+        topology = linear_chain(3)
+        sim = Simulator()
+        engine = EventDrivenBgp(topology, sim)
+        engine.inject(topology.domain("N0").router(), PREFIX)
+        engine.run_to_quiescence()
+        assert engine.updates_sent > 0
+        assert engine.routes_announced > 0
+        assert engine.routes_withdrawn == 0
+
+
+class TestEquivalenceWithSynchronousEngine:
+    def _final_state(self, network):
+        state = {}
+        for router, speaker in network.speakers.items():
+            route = speaker.loc_rib.lookup(RouteType.GROUP, ADDRESS)
+            if route is None:
+                state[router] = None
+            else:
+                state[router] = (
+                    route.next_hop,
+                    route.as_path,
+                    route.from_internal,
+                )
+        return state
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_same_fixpoint_as_synchronous(self, seed):
+        rng = random.Random(seed)
+        build = rng.choice(["as-graph", "transit-stub"])
+        if build == "as-graph":
+            topo_a = as_graph(random.Random(seed), node_count=40)
+            topo_b = as_graph(random.Random(seed), node_count=40)
+        else:
+            topo_a = transit_stub(random.Random(seed), 3, 5)
+            topo_b = transit_stub(random.Random(seed), 3, 5)
+        origin_index = rng.randrange(len(topo_a))
+
+        sync = BgpNetwork(topo_a)
+        sync.originate_from_domain(topo_a.domain(origin_index), PREFIX)
+        sync.converge()
+
+        sim = Simulator()
+        event = EventDrivenBgp(topo_b, sim)
+        event.inject(topo_b.domain(origin_index).router(), PREFIX)
+        event.run_to_quiescence()
+
+        sync_state = {
+            (r.domain.name, r.name): v
+            for r, v in self._final_state(sync).items()
+        }
+        event_state = {
+            (r.domain.name, r.name): v
+            for r, v in self._final_state(event).items()
+        }
+
+        def normalize(state):
+            def hop(router):
+                if router is None:
+                    return None
+                return (router.domain.name, router.name)
+
+            return {
+                key: (
+                    None
+                    if value is None
+                    else (hop(value[0]), value[1], value[2])
+                )
+                for key, value in state.items()
+            }
+
+        assert normalize(sync_state) == normalize(event_state)
+
+    def test_figure1_equivalence(self):
+        topo_a = paper_figure1_topology()
+        sync = BgpNetwork(topo_a)
+        sync.originate(topo_a.domain("B").router("B1"),
+                       Prefix.parse("224.0.128.0/24"))
+        sync.originate(topo_a.domain("A").router("A1"),
+                       Prefix.parse("224.0.0.0/16"))
+        sync.converge()
+
+        topo_b = paper_figure1_topology()
+        sim = Simulator()
+        event = EventDrivenBgp(topo_b, sim)
+        event.inject(topo_b.domain("B").router("B1"),
+                     Prefix.parse("224.0.128.0/24"))
+        event.inject(topo_b.domain("A").router("A1"),
+                     Prefix.parse("224.0.0.0/16"))
+        event.run_to_quiescence()
+
+        group = parse_address("224.0.128.1")
+        for name in ("A", "B", "C", "D", "E", "F", "G"):
+            sync_hit = sync.group_next_hop(
+                topo_a.domain(name).router(), group
+            )
+            event_hit = event.group_next_hop(
+                topo_b.domain(name).router(), group
+            )
+            assert (sync_hit is None) == (event_hit is None)
+            if sync_hit is not None:
+                assert sync_hit.prefix == event_hit.prefix
+                sync_hop = sync_hit.next_hop.name if sync_hit.next_hop else None
+                event_hop = (
+                    event_hit.next_hop.name if event_hit.next_hop else None
+                )
+                assert sync_hop == event_hop
+
+
+class TestMrai:
+    def test_batching_reduces_updates(self):
+        def run(mrai):
+            topology = transit_stub(random.Random(3), 4, 6)
+            sim = Simulator()
+            engine = EventDrivenBgp(topology, sim, mrai=mrai)
+            for index, domain in enumerate(topology.domains[:5]):
+                engine.inject(
+                    domain.router(),
+                    Prefix.parse(f"226.{index}.0.0/16"),
+                )
+            engine.run_to_quiescence()
+            return engine.updates_sent
+
+        assert run(mrai=5.0) <= run(mrai=0.0)

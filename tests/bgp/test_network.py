@@ -1,0 +1,276 @@
+"""End-to-end BGP propagation tests, including the paper's Figure 1
+route-distribution walk-through (section 4.2)."""
+
+import pytest
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgp.network import BgpNetwork, ConvergenceError
+from repro.bgp.policy import (
+    GaoRexfordPolicy,
+    PromiscuousPolicy,
+    RouteFilterPolicy,
+    preference_for,
+)
+from repro.bgp.routes import RouteType
+from repro.topology.generators import (
+    linear_chain,
+    paper_figure1_topology,
+    paper_figure3_topology,
+)
+from repro.topology.network import Topology
+
+
+P16 = Prefix.parse("224.0.0.0/16")
+P24 = Prefix.parse("224.0.128.0/24")
+GROUP_IN_B = parse_address("224.0.128.1")
+
+
+def figure1_network(aggregate=True):
+    topology = paper_figure1_topology()
+    network = BgpNetwork(topology, aggregate=aggregate)
+    a = topology.domain("A")
+    b = topology.domain("B")
+    network.originate(a.router("A1"), P16)
+    network.originate(b.router("B1"), P24)
+    network.converge()
+    return topology, network
+
+
+class TestFigure1Scenario:
+    def test_a3_learns_childs_route_externally(self):
+        topology, network = figure1_network()
+        a3 = topology.domain("A").router("A3")
+        hit = network.group_next_hop(a3, GROUP_IN_B)
+        assert hit.prefix == P24
+        assert hit.next_hop.name == "B1"
+
+    def test_other_a_routers_point_at_exit(self):
+        # Section 4.2: "The other border routers of A (A1, A2 and A4)
+        # store (224.0.128.0/24, A3) in their G-RIBs."
+        topology, network = figure1_network()
+        a = topology.domain("A")
+        for name in ("A1", "A2", "A4"):
+            hit = network.group_next_hop(a.router(name), GROUP_IN_B)
+            assert hit.prefix == P24
+            assert hit.next_hop.name == "A3"
+
+    def test_c1_sees_aggregate_only(self):
+        # Section 5.2: "C1 looks up 224.0.128.1 in its G-RIB, finds
+        # (224.0.0.0/16, A2)" — the /24 is suppressed by A's aggregate.
+        topology, network = figure1_network()
+        c1 = topology.domain("C").router("C1")
+        hit = network.group_next_hop(c1, GROUP_IN_B)
+        assert hit.prefix == P16
+        assert hit.next_hop.name == "A2"
+        prefixes = [r.prefix for r in network.grib_of(c1)]
+        assert P24 not in prefixes
+
+    def test_aggregation_off_leaks_specific(self):
+        topology, network = figure1_network(aggregate=False)
+        c1 = topology.domain("C").router("C1")
+        prefixes = [r.prefix for r in network.grib_of(c1)]
+        assert P24 in prefixes
+
+    def test_peers_learn_customer_routes(self):
+        # A advertises its own /16 (and customer routes) to peers D, E.
+        topology, network = figure1_network()
+        d1 = topology.domain("D").router("D1")
+        hit = network.group_next_hop(d1, GROUP_IN_B)
+        assert hit.prefix == P16
+        assert hit.next_hop.name == "A4"
+
+    def test_grib_size_shows_aggregation(self):
+        topology, network = figure1_network()
+        d1 = topology.domain("D").router("D1")
+        # D sees exactly one group route: A's aggregate.
+        assert network.grib_size(d1) == 1
+
+    def test_f_learns_via_provider_chain(self):
+        topology, network = figure1_network()
+        f1 = topology.domain("F").router("F1")
+        hit = network.group_next_hop(f1, GROUP_IN_B)
+        assert hit is not None
+        assert hit.next_hop.domain.name == "B"
+
+    def test_root_domain_lookup(self):
+        topology, network = figure1_network()
+        assert network.root_domain_of(GROUP_IN_B).name == "B"
+        assert network.root_domain_of(
+            parse_address("224.0.1.1")
+        ).name == "A"
+        assert network.root_domain_of(parse_address("230.0.0.1")) is None
+
+
+class TestPolicy:
+    def test_peer_routes_not_transited_between_peers(self):
+        # E originates a group route; A learns it over a peer link and
+        # must not re-advertise it to its other peer D (Gao-Rexford).
+        topology = paper_figure1_topology()
+        network = BgpNetwork(topology)
+        e_prefix = Prefix.parse("225.0.0.0/16")
+        network.originate(topology.domain("E").router("E1"), e_prefix)
+        network.converge()
+        d1 = topology.domain("D").router("D1")
+        assert network.group_next_hop(
+            d1, parse_address("225.0.0.1")
+        ) is None
+        # But A's customers do learn it.
+        f1 = topology.domain("F").router("F1")
+        assert network.group_next_hop(
+            f1, parse_address("225.0.0.1")
+        ) is not None
+
+    def test_promiscuous_policy_transits_everything(self):
+        topology = paper_figure1_topology()
+        network = BgpNetwork(topology, policy=PromiscuousPolicy())
+        e_prefix = Prefix.parse("225.0.0.0/16")
+        network.originate(topology.domain("E").router("E1"), e_prefix)
+        network.converge()
+        d1 = topology.domain("D").router("D1")
+        assert network.group_next_hop(
+            d1, parse_address("225.0.0.1")
+        ) is not None
+
+    def test_route_filter_policy(self):
+        # A refuses to propagate B's specific route anywhere, even
+        # without aggregation — selective propagation per section 4.2.
+        topology = paper_figure1_topology()
+
+        def no_b_routes(domain, route, learned_from, exporting_to):
+            return not (
+                domain.name == "A" and route.origin_domain_id == 1
+            )
+
+        network = BgpNetwork(
+            topology,
+            policy=RouteFilterPolicy(GaoRexfordPolicy(), no_b_routes),
+            aggregate=False,
+        )
+        network.originate(topology.domain("B").router("B1"), P24)
+        network.converge()
+        c1 = topology.domain("C").router("C1")
+        assert network.group_next_hop(c1, GROUP_IN_B) is None
+        # B's provider A still has the route itself.
+        a3 = topology.domain("A").router("A3")
+        assert network.group_next_hop(a3, GROUP_IN_B) is not None
+
+    def test_preference_ordering(self):
+        assert preference_for("customer") > preference_for("peer")
+        assert preference_for("peer") > preference_for("provider")
+
+
+class TestConvergenceMechanics:
+    def test_withdrawal_propagates(self):
+        topology, network = figure1_network()
+        b1 = topology.domain("B").router("B1")
+        assert network.withdraw(b1, P24)
+        network.converge()
+        a3 = topology.domain("A").router("A3")
+        hit = network.group_next_hop(a3, GROUP_IN_B)
+        # Only A's own /16 remains.
+        assert hit.prefix == P16
+
+    def test_chain_propagation(self):
+        topology = linear_chain(6)
+        network = BgpNetwork(topology, policy=PromiscuousPolicy())
+        prefix = Prefix.parse("226.0.0.0/16")
+        network.originate_from_domain(topology.domain("N0"), prefix)
+        rounds = network.converge()
+        assert rounds >= 2
+        last = topology.domain("N5")
+        hit = network.group_next_hop(
+            last.router(), parse_address("226.0.0.1")
+        )
+        assert hit is not None
+        # The AS path walked the whole chain.
+        assert len(hit.as_path) == 5
+
+    def test_shortest_path_preferred(self):
+        # Diamond: origin X, two paths to W — direct (1 hop) and via V
+        # (2 hops). W must pick the shorter AS path.
+        topology = Topology()
+        w = topology.add_domain(name="W")
+        v = topology.add_domain(name="V")
+        x = topology.add_domain(name="X")
+        topology.connect_domains(w, x)
+        topology.connect_domains(w, v)
+        topology.connect_domains(v, x)
+        network = BgpNetwork(topology, policy=PromiscuousPolicy())
+        prefix = Prefix.parse("227.0.0.0/16")
+        network.originate_from_domain(x, prefix)
+        network.converge()
+        hit = network.group_next_hop(
+            w.router("W-to-X"), parse_address("227.0.0.1")
+        )
+        assert hit.as_path == (x.domain_id,)
+
+    def test_converge_is_idempotent(self):
+        topology, network = figure1_network()
+        assert network.converge() == 1
+
+    def test_convergence_error_budget(self):
+        topology, network = figure1_network()
+        with pytest.raises(ConvergenceError):
+            # Fresh origination needs propagation rounds; forbid them.
+            network.originate(
+                topology.domain("E").router("E1"),
+                Prefix.parse("228.0.0.0/16"),
+            )
+            network.converge(max_rounds=0)
+
+    def test_unicast_and_group_coexist(self):
+        topology, network = figure1_network()
+        b1 = topology.domain("B").router("B1")
+        network.originate(
+            b1, Prefix.parse("10.1.0.0/16"), RouteType.UNICAST
+        )
+        network.converge()
+        a3 = topology.domain("A").router("A3")
+        unicast = network.speaker(a3).loc_rib.lookup(
+            RouteType.UNICAST, parse_address("10.1.2.3")
+        )
+        assert unicast is not None
+        assert unicast.prefix == Prefix.parse("10.1.0.0/16")
+        # Group lookups never see unicast routes.
+        assert network.group_next_hop(
+            a3, parse_address("10.1.2.3")
+        ) is None
+
+
+class TestFigure3Network:
+    def test_f_multihomed_best_exit_for_d(self):
+        # In figure 3, F's shortest path to D's sources runs via F2-A4.
+        topology = paper_figure3_topology()
+        network = BgpNetwork(topology)
+        d_prefix = Prefix.parse("10.4.0.0/16")
+        network.originate_from_domain(
+            topology.domain("D"), d_prefix, RouteType.UNICAST
+        )
+        network.converge()
+        f2 = topology.domain("F").router("F2")
+        hit = network.speaker(f2).loc_rib.lookup(
+            RouteType.UNICAST, parse_address("10.4.0.1")
+        )
+        assert hit is not None
+        assert not hit.from_internal  # F2 is the best exit itself
+        assert hit.next_hop.name == "A4"
+        f1 = topology.domain("F").router("F1")
+        hit1 = network.speaker(f1).loc_rib.lookup(
+            RouteType.UNICAST, parse_address("10.4.0.1")
+        )
+        # F1 reaches D via its iBGP peer F2 (shorter AS path than via B).
+        assert hit1.from_internal
+        assert hit1.next_hop.name == "F2"
+
+    def test_all_domains_reach_root_b(self):
+        topology = paper_figure3_topology()
+        network = BgpNetwork(topology)
+        network.originate(topology.domain("B").router("B1"), P24)
+        network.converge()
+        for name in ("A", "C", "D", "E", "F", "G", "H"):
+            domain = topology.domain(name)
+            router = domain.router()
+            assert network.group_next_hop(router, GROUP_IN_B) is not None, (
+                f"domain {name} cannot reach the root domain"
+            )

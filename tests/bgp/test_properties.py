@@ -1,0 +1,145 @@
+"""Property-based checks of the converged BGP substrate.
+
+Network-wide invariants on random topologies:
+
+- forwarding is loop-free: following next hops from any router reaches
+  the origin domain;
+- AS paths are valley-free under the Gao-Rexford policy (no
+  customer->provider edge after a provider/peer edge);
+- iBGP next hops resolve to a router of the same domain holding an
+  external (or originated) route.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgp.network import BgpNetwork
+from repro.bgp.routes import RouteType
+from repro.topology.generators import as_graph, transit_stub
+
+PREFIX = Prefix.parse("226.1.0.0/16")
+ADDRESS = parse_address("226.1.2.3")
+
+
+def build(seed, kind="as-graph"):
+    rng = random.Random(seed)
+    if kind == "as-graph":
+        topology = as_graph(rng, node_count=80)
+    else:
+        topology = transit_stub(rng, transit_count=4,
+                                stubs_per_transit=8)
+    network = BgpNetwork(topology)
+    origin = topology.domains[rng.randrange(len(topology))]
+    network.originate_from_domain(origin, PREFIX)
+    network.converge()
+    return topology, network, origin
+
+
+def walk_to_origin(network, router, origin, max_hops=100):
+    """Follow next hops for PREFIX from ``router``; returns the hop
+    count to the origin, or raises on a loop/dead end."""
+    current = router
+    hops = 0
+    seen = set()
+    while hops < max_hops:
+        if current in seen:
+            raise AssertionError(f"forwarding loop at {current!r}")
+        seen.add(current)
+        speaker = network.speaker(current)
+        route = speaker.loc_rib.lookup(RouteType.GROUP, ADDRESS)
+        if route is None:
+            raise AssertionError(f"dead end at {current!r}")
+        if route.is_local_origin:
+            assert current.domain == origin
+            return hops
+        current = route.next_hop
+        hops += 1
+    raise AssertionError("exceeded hop budget")
+
+
+class TestConvergedProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_loop_free_forwarding(self, seed):
+        topology, network, origin = build(seed)
+        for domain in topology.domains:
+            router = domain.router()
+            speaker = network.speaker(router)
+            if speaker.loc_rib.lookup(RouteType.GROUP, ADDRESS) is None:
+                continue  # policy-filtered: fine
+            walk_to_origin(network, router, origin)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_as_paths_are_valley_free(self, seed):
+        topology, network, origin = build(seed)
+        by_id = {d.domain_id: d for d in topology.domains}
+        for router, speaker in network.speakers.items():
+            route = speaker.loc_rib.lookup(RouteType.GROUP, ADDRESS)
+            if route is None or not route.as_path:
+                continue
+            # Walk the path from the origin outwards; once traffic has
+            # gone "down" (provider->customer) or sideways (peer), it
+            # must keep going down.
+            path = list(reversed(route.as_path))  # origin first
+            going_down = False
+            for earlier, later in zip(path, path[1:]):
+                a, b = by_id[earlier], by_id[later]
+                relationship = b.relationship_to(a)
+                # b learned the route from a.
+                if relationship == "customer":
+                    # a is b's customer: the route moved UP to b.
+                    assert not going_down, (
+                        f"valley in {route.as_path}"
+                    )
+                else:
+                    going_down = True
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_internal_routes_resolve(self, seed):
+        topology, network, origin = build(seed, kind="transit-stub")
+        for router, speaker in network.speakers.items():
+            route = speaker.loc_rib.lookup(RouteType.GROUP, ADDRESS)
+            if route is None or not route.from_internal:
+                continue
+            exit_router = route.next_hop
+            assert exit_router.domain == router.domain
+            exit_route = network.speaker(exit_router).loc_rib.lookup(
+                RouteType.GROUP, ADDRESS
+            )
+            assert exit_route is not None
+            assert exit_route.is_local_origin or not exit_route.from_internal
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_shortest_policy_path_selected(self, seed):
+        # Among routers with a route, AS-path length never exceeds the
+        # hop count of the walk they actually take (paths are
+        # consistent with forwarding).
+        topology, network, origin = build(seed)
+        for domain in topology.domains:
+            router = domain.router()
+            route = network.speaker(router).loc_rib.lookup(
+                RouteType.GROUP, ADDRESS
+            )
+            if route is None or route.is_local_origin:
+                continue
+            hops = walk_to_origin(network, router, origin)
+            # Inter-domain hops equal the AS-path length (each AS
+            # appears once — no prepending in this model).
+            assert len(route.as_path) >= 1
+            assert hops >= len(route.as_path) - 1
+
+    def test_reconvergence_after_withdrawal_is_loop_free(self):
+        topology, network, origin = build(7)
+        network.withdraw(origin.router(), PREFIX)
+        network.converge()
+        for speaker in network.speakers.values():
+            assert speaker.loc_rib.lookup(
+                RouteType.GROUP, ADDRESS
+            ) is None

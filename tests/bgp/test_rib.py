@@ -1,0 +1,87 @@
+"""Tests for Adj-RIB-In and Loc-RIB."""
+
+from repro.addressing.ipv4 import parse_address
+from repro.addressing.prefix import Prefix
+from repro.bgp.rib import AdjRibIn, LocRib
+from repro.bgp.routes import Route, RouteType
+from repro.topology.domain import Domain
+
+
+P16 = Prefix.parse("224.0.0.0/16")
+P24 = Prefix.parse("224.0.128.0/24")
+
+
+def route(prefix, route_type=RouteType.GROUP, hop=None):
+    return Route(prefix, route_type, hop)
+
+
+class TestAdjRibIn:
+    def test_update_replaces(self):
+        domain = Domain(0, name="A")
+        rib = AdjRibIn(domain.router("A1"))
+        rib.update(route(P24))
+        rib.update(route(P24))
+        assert len(rib) == 1
+
+    def test_withdraw(self):
+        rib = AdjRibIn(Domain(0, name="A").router("A1"))
+        rib.update(route(P24))
+        assert rib.withdraw(RouteType.GROUP, P24)
+        assert not rib.withdraw(RouteType.GROUP, P24)
+        assert len(rib) == 0
+
+    def test_get(self):
+        rib = AdjRibIn(Domain(0, name="A").router("A1"))
+        rib.update(route(P24))
+        assert rib.get(RouteType.GROUP, P24) is not None
+        assert rib.get(RouteType.UNICAST, P24) is None
+
+
+class TestLocRib:
+    def test_install_and_get(self):
+        rib = LocRib()
+        rib.install(route(P24))
+        assert rib.get(RouteType.GROUP, P24) is not None
+        assert len(rib) == 1
+
+    def test_remove(self):
+        rib = LocRib()
+        rib.install(route(P24))
+        assert rib.remove(RouteType.GROUP, P24)
+        assert not rib.remove(RouteType.GROUP, P24)
+
+    def test_group_routes_filtered_and_sorted(self):
+        rib = LocRib()
+        rib.install(route(P24))
+        rib.install(route(P16))
+        rib.install(route(P24, RouteType.UNICAST))
+        groups = rib.group_routes()
+        assert [r.prefix for r in groups] == [P16, P24]
+
+    def test_longest_match(self):
+        rib = LocRib()
+        rib.install(route(P16))
+        rib.install(route(P24))
+        hit = rib.grib_lookup(parse_address("224.0.128.1"))
+        assert hit.prefix == P24
+        hit = rib.grib_lookup(parse_address("224.0.1.1"))
+        assert hit.prefix == P16
+
+    def test_lookup_miss(self):
+        rib = LocRib()
+        rib.install(route(P16))
+        assert rib.grib_lookup(parse_address("230.0.0.1")) is None
+
+    def test_lookup_respects_type(self):
+        rib = LocRib()
+        rib.install(route(P16, RouteType.UNICAST))
+        assert rib.grib_lookup(parse_address("224.0.0.1")) is None
+        assert rib.lookup(
+            RouteType.UNICAST, parse_address("224.0.0.1")
+        ) is not None
+
+    def test_clear(self):
+        rib = LocRib()
+        rib.install(route(P16))
+        rib.clear()
+        assert len(rib) == 0

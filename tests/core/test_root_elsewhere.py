@@ -1,0 +1,67 @@
+"""Tests for the section 7 address-allocation interface: a group
+initiator obtaining an address rooted in another domain."""
+
+import pytest
+
+from repro.core.system import MulticastInternet
+from repro.topology.generators import paper_figure3_topology
+
+
+@pytest.fixture
+def internet():
+    return MulticastInternet(paper_figure3_topology(), seed=3)
+
+
+class TestRootElsewhere:
+    def test_group_rooted_at_requested_domain(self, internet):
+        topology = internet.topology
+        initiator = topology.domain("F").host("init")
+        d = topology.domain("D")
+        session = internet.create_group(initiator, root_domain=d)
+        assert session.root_domain is d
+        assert session.initiator is initiator
+        assert session.allocated_by is d
+
+    def test_address_from_root_domains_range(self, internet):
+        topology = internet.topology
+        initiator = topology.domain("F").host("init")
+        d = topology.domain("D")
+        session = internet.create_group(initiator, root_domain=d)
+        assert any(
+            p.contains_address(session.group)
+            for p in internet.claimed_ranges(d)
+        )
+        assert internet.claimed_ranges(topology.domain("F")) == []
+
+    def test_dominant_source_scenario(self, internet):
+        # The paper's example: the initiator knows the dominant sources
+        # will be in D, so it roots the group there; receivers get
+        # data along near-shortest paths from D.
+        topology = internet.topology
+        initiator = topology.domain("F").host("init")
+        session = internet.create_group(
+            initiator, root_domain=topology.domain("D")
+        )
+        for name in ("F", "C", "H"):
+            internet.join(topology.domain(name).host("m"), session.group)
+        report = internet.send(
+            topology.domain("D").host("src"), session.group
+        )
+        for name in ("F", "C", "H"):
+            assert report.reached(topology.domain(name))
+        assert report.duplicates == 0
+
+    def test_close_group_releases_at_allocating_domain(self, internet):
+        topology = internet.topology
+        initiator = topology.domain("F").host("init")
+        d = topology.domain("D")
+        session = internet.create_group(initiator, root_domain=d)
+        assigned = internet.maases[d].assigned_addresses()
+        assert session.group in assigned
+        internet.close_group(session)
+        assert session.group not in internet.maases[d].assigned_addresses()
+
+    def test_default_still_roots_at_initiator(self, internet):
+        initiator = internet.topology.domain("C").host("init")
+        session = internet.create_group(initiator)
+        assert session.root_domain is internet.topology.domain("C")

@@ -1,0 +1,101 @@
+"""A system-level soak: many groups, membership churn, and calendar
+time over a mid-size internetwork, through the public facade only.
+
+Checks the global invariants the architecture promises: every group
+roots in its initiator's domain, addresses never collide, deliveries
+are exactly-once, teardown is complete, and expired space recycles.
+"""
+
+import random
+
+import pytest
+
+from repro.core.system import MulticastInternet
+from repro.topology.generators import transit_stub
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = random.Random(11)
+    topology = transit_stub(rng, transit_count=4, stubs_per_transit=10)
+    internet = MulticastInternet(topology, seed=11)
+    return topology, internet, rng
+
+
+class TestSoak:
+    def test_many_groups_full_lifecycle(self, world):
+        topology, internet, rng = world
+        stubs = [d for d in topology.domains if "S" in d.name]
+        sessions = []
+        members = {}
+
+        # 1. Twenty groups from random initiators.
+        for index in range(20):
+            initiator_domain = rng.choice(stubs)
+            session = internet.create_group(
+                initiator_domain.host(f"init{index}")
+            )
+            assert session.root_domain is initiator_domain
+            sessions.append(session)
+        addresses = {s.group for s in sessions}
+        assert len(addresses) == 20, "address collision"
+
+        # 2. Random membership (3-6 domains each) + one send per group.
+        for session in sessions:
+            group_members = rng.sample(stubs, rng.randint(3, 6))
+            members[session.group] = []
+            for domain in group_members:
+                host = domain.host(f"m{session.group & 0xFF}")
+                assert internet.join(host, session.group)
+                members[session.group].append(host)
+            sender = rng.choice(topology.domains).host("s")
+            report = internet.send(sender, session.group)
+            for host in members[session.group]:
+                assert report.deliveries.get(host.domain, 0) == 1
+            assert report.duplicates == 0
+
+        # 3. Churn: half the members leave; deliveries stay exact.
+        for session in sessions:
+            leavers = members[session.group][::2]
+            for host in leavers:
+                internet.leave(host, session.group)
+                members[session.group].remove(host)
+        for session in sessions:
+            if not members[session.group]:
+                continue
+            report = internet.send(
+                session.initiator, session.group
+            )
+            for host in members[session.group]:
+                assert report.deliveries.get(host.domain, 0) == 1
+            assert report.duplicates == 0
+
+        # 4. Time passes: a month of lease maintenance must not break
+        # live groups (addresses held by sessions stay assigned).
+        internet.advance(15 * 24.0)
+        internet.advance(20 * 24.0)
+        live = [s for s in sessions if members[s.group]]
+        probe = live[0]
+        report = internet.send(probe.initiator, probe.group)
+        assert report.duplicates == 0
+
+        # 5. Close everything; all forwarding state drains.
+        for session in sessions:
+            internet.close_group(session)
+        assert internet.bgmp.forwarding_state_size() == 0
+
+        # 6. Months later the unused space has been relinquished.
+        for _ in range(6):
+            internet.advance(31 * 24.0)
+        leftover = sum(
+            internet.managers[d].pool.live_addresses()
+            for d in topology.domains
+        )
+        assert leftover == 0
+
+    def test_grib_stays_aggregated(self, world):
+        topology, internet, rng = world
+        # After the soak, remote G-RIBs hold far fewer routes than the
+        # number of groups ever created.
+        transit = topology.domain("X0")
+        assert internet.grib_size_at(transit) <= 30

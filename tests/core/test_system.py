@@ -1,0 +1,164 @@
+"""End-to-end tests of the assembled architecture."""
+
+import pytest
+
+from repro.addressing.ipv4 import is_multicast
+from repro.core.system import MulticastInternet
+from repro.masc.config import MascConfig
+from repro.topology.generators import (
+    kary_hierarchy,
+    paper_figure1_topology,
+    paper_figure3_topology,
+)
+
+
+@pytest.fixture
+def internet():
+    return MulticastInternet(paper_figure3_topology(), seed=1)
+
+
+class TestGroupCreation:
+    def test_group_rooted_at_initiator_domain(self, internet):
+        b = internet.topology.domain("B")
+        session = internet.create_group(b.host("initiator"))
+        assert session.root_domain is b
+        assert is_multicast(session.group)
+
+    def test_initiator_domain_claims_space(self, internet):
+        c = internet.topology.domain("C")
+        internet.create_group(c.host("initiator"))
+        ranges = internet.claimed_ranges(c)
+        assert ranges, "C must hold a MASC range"
+        # The claimed range nests inside an ancestor's range.
+        a_ranges = internet.claimed_ranges(internet.topology.domain("A"))
+        assert any(
+            parent.contains(child)
+            for parent in a_ranges
+            for child in ranges
+        )
+
+    def test_distinct_groups_get_distinct_addresses(self, internet):
+        b = internet.topology.domain("B")
+        host = b.host("initiator")
+        groups = {internet.create_group(host).group for _ in range(20)}
+        assert len(groups) == 20
+
+    def test_groups_in_different_domains_do_not_collide(self, internet):
+        domains = [internet.topology.domain(n) for n in "BCDFH"]
+        groups = set()
+        for domain in domains:
+            for _ in range(5):
+                session = internet.create_group(domain.host("init"))
+                assert session.group not in groups
+                groups.add(session.group)
+
+    def test_group_routes_injected(self, internet):
+        b = internet.topology.domain("B")
+        session = internet.create_group(b.host("initiator"))
+        # Every other domain can resolve the group's root via G-RIB.
+        for name in ("C", "D", "E", "F", "G", "H"):
+            router = internet.topology.domain(name).router()
+            route = internet.bgmp.bgp.group_next_hop(router, session.group)
+            assert route is not None, f"{name} lacks a group route"
+
+
+class TestEndToEnd:
+    def test_join_send_deliver(self, internet):
+        topology = internet.topology
+        session = internet.create_group(topology.domain("B").host("init"))
+        members = []
+        for name in ("C", "D", "F"):
+            member = topology.domain(name).host("m")
+            assert internet.join(member, session.group)
+            members.append(member)
+        sender = topology.domain("E").host("s")
+        report = internet.send(sender, session.group)
+        assert report.total_deliveries == 3
+        assert report.duplicates == 0
+
+    def test_member_to_member(self, internet):
+        topology = internet.topology
+        session = internet.create_group(topology.domain("B").host("init"))
+        c_member = topology.domain("C").host("m")
+        d_member = topology.domain("D").host("m")
+        internet.join(c_member, session.group)
+        internet.join(d_member, session.group)
+        report = internet.send(c_member, session.group)
+        assert report.reached(topology.domain("D"))
+
+    def test_close_group_tears_down(self, internet):
+        topology = internet.topology
+        session = internet.create_group(topology.domain("B").host("init"))
+        member = topology.domain("C").host("m")
+        internet.join(member, session.group)
+        assert internet.bgmp.forwarding_state_size() > 0
+        internet.close_group(session)
+        assert internet.bgmp.forwarding_state_size() == 0
+        assert session.group not in internet.sessions
+
+    def test_session_tracks_members(self, internet):
+        topology = internet.topology
+        session = internet.create_group(topology.domain("B").host("init"))
+        member = topology.domain("C").host("m")
+        internet.join(member, session.group)
+        assert member in session.members
+        internet.leave(member, session.group)
+        assert member not in session.members
+
+
+class TestTimeAndLifetimes:
+    def test_advance_expires_blocks(self, internet):
+        b = internet.topology.domain("B")
+        internet.create_group(b.host("init"))
+        maas = internet.maases[b]
+        assert len(maas.leases) == 1
+        internet.advance(31 * 24.0)
+        assert len(maas.leases) == 0
+
+    def test_advance_rejects_negative(self, internet):
+        with pytest.raises(ValueError):
+            internet.advance(-1.0)
+
+    def test_unused_space_returns_after_expiry(self, internet):
+        c = internet.topology.domain("C")
+        session = internet.create_group(c.host("init"))
+        internet.close_group(session)
+        # Blocks expire, maintenance releases the drained range.
+        internet.advance(31 * 24.0)
+        internet.advance(31 * 24.0)
+        assert internet.claimed_ranges(c) == []
+
+
+class TestFigure1System:
+    def test_builds_on_figure1(self):
+        internet = MulticastInternet(paper_figure1_topology(), seed=2)
+        f = internet.topology.domain("F")
+        session = internet.create_group(f.host("init"))
+        assert session.root_domain is f
+        g_member = internet.topology.domain("G").host("m")
+        assert internet.join(g_member, session.group)
+        report = internet.send(f.host("sender"), session.group)
+        assert report.reached(internet.topology.domain("G"))
+
+
+class TestScaling:
+    def test_medium_hierarchy(self):
+        topology = kary_hierarchy(top_count=3, child_count=4)
+        internet = MulticastInternet(topology, seed=5)
+        leaf = topology.domain("T1C2")
+        session = internet.create_group(leaf.host("init"))
+        assert session.root_domain is leaf
+        other = topology.domain("T2C3").host("m")
+        assert internet.join(other, session.group)
+        report = internet.send(leaf.host("s"), session.group)
+        assert report.reached(topology.domain("T2C3"))
+
+    def test_total_group_routes_aggregates(self):
+        topology = kary_hierarchy(top_count=2, child_count=3)
+        internet = MulticastInternet(topology, seed=6)
+        for domain in topology.domains:
+            if not domain.is_top_level:
+                internet.create_group(domain.host("init"))
+        # 6 groups -> at most a handful of group routes (one per
+        # claiming domain, aggregated under the tops' ranges).
+        assert internet.total_group_routes() <= 12

@@ -1,0 +1,100 @@
+"""Tests for the Figure 2 experiment driver (scaled down for speed)."""
+
+import pytest
+
+from repro.experiments.fig2 import (
+    Figure2Config,
+    paper_scale_config,
+    run_figure2,
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_figure2(
+        Figure2Config(
+            top_count=4,
+            children_per_top=6,
+            duration_days=120.0,
+            transient_days=40.0,
+            seed=3,
+        )
+    )
+
+
+class TestFigure2:
+    def test_series_cover_run(self, small_result):
+        days = [day for day, _ in small_result.utilization_series()]
+        assert days[0] <= 2.0
+        assert days[-1] >= 118.0
+
+    def test_utilization_bounds(self, small_result):
+        for _, value in small_result.utilization_series():
+            assert 0.0 <= value <= 1.0
+
+    def test_startup_transient_then_steady(self, small_result):
+        # Demand ramps for ~30 days: utilization must be non-trivial
+        # both during and after the transient.
+        steady = small_result.steady_state()
+        assert steady["utilization_mean"] > 0.1
+        assert steady["grib_mean"] > 0
+
+    def test_grib_aggregation(self, small_result):
+        # 24 children x ~15 live blocks would be ~360 routes without
+        # aggregation; the G-RIB must be far smaller.
+        steady = small_result.steady_state()
+        live_blocks = small_result.simulation.live_blocks.values[-1]
+        assert live_blocks > 100
+        assert steady["grib_mean"] < live_blocks / 3
+
+    def test_grib_series_has_max_at_least_mean(self, small_result):
+        for _, mean, peak in small_result.grib_series():
+            assert peak >= mean
+
+    def test_requests_served(self, small_result):
+        assert small_result.simulation.requests_served > 500
+        assert small_result.simulation.requests_failed == 0
+
+    def test_table_renders(self, small_result):
+        text = small_result.table(every_days=30)
+        assert "utilization" in text
+        assert "grib_mean" in text
+        assert len(text.splitlines()) >= 4
+
+    def test_transient_peak(self, small_result):
+        assert small_result.transient_peak_grib() > 0
+
+    def test_deterministic_under_seed(self):
+        config = Figure2Config(
+            top_count=2, children_per_top=3, duration_days=40.0, seed=9
+        )
+        first = run_figure2(config)
+        second = run_figure2(config)
+        assert list(first.simulation.utilization.values) == list(
+            second.simulation.utilization.values
+        )
+
+    def test_paper_scale_config_shape(self):
+        config = paper_scale_config()
+        assert config.top_count == 50
+        assert config.children_per_top == 50
+        assert config.duration_days == 800.0
+
+    def test_heterogeneous_children_counts(self):
+        from repro.masc.simulation import (
+            ClaimSimulation,
+            SimulationConfig,
+        )
+
+        config = SimulationConfig(
+            top_count=3,
+            children_per_top=0,
+            children_counts=[2, 5, 1],
+            duration_days=50.0,
+            seed=4,
+        )
+        sim = ClaimSimulation(config)
+        assert [len(sim.children[t]) for t in range(3)] == [2, 5, 1]
+        result = sim.run()
+        assert result.requests_served > 0
+        assert result.requests_failed == 0

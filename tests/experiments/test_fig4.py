@@ -1,0 +1,98 @@
+"""Tests for the Figure 4 experiment driver (scaled down for speed)."""
+
+import random
+
+import pytest
+
+from repro.experiments.fig4 import (
+    Figure4Config,
+    TREE_KINDS,
+    run_figure4,
+)
+from repro.topology.generators import as_graph
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_figure4(
+        Figure4Config(
+            node_count=400,
+            group_sizes=(1, 5, 20, 50, 100),
+            trials_per_size=3,
+            seed=4,
+        )
+    )
+
+
+class TestFigure4:
+    def test_one_point_per_size(self, small_result):
+        assert [p.group_size for p in small_result.points] == [
+            1, 5, 20, 50, 100,
+        ]
+
+    def test_all_ratios_at_least_one(self, small_result):
+        for point in small_result.points:
+            for kind in TREE_KINDS:
+                assert point.average_ratio[kind] >= 1.0 - 1e-9
+                assert point.max_ratio[kind] >= point.average_ratio[kind] - 1e-9
+
+    def test_paper_ordering(self, small_result):
+        # Figure 4: unidirectional >> bidirectional >= hybrid.
+        overall = small_result.overall()
+        assert (
+            overall["unidirectional"]["average"]
+            > overall["bidirectional"]["average"]
+        )
+        assert (
+            overall["bidirectional"]["average"]
+            >= overall["hybrid"]["average"]
+        )
+
+    def test_unidirectional_roughly_double(self, small_result):
+        # The paper reports ~2x for unidirectional shared trees.
+        overall = small_result.overall()
+        assert 1.4 <= overall["unidirectional"]["average"] <= 3.0
+
+    def test_bidirectional_moderate_overhead(self, small_result):
+        # The paper reports <=~1.3x average for bidirectional trees.
+        overall = small_result.overall()
+        assert overall["bidirectional"]["average"] <= 1.8
+
+    def test_curve_accessor(self, small_result):
+        curve = small_result.curve("hybrid", "average")
+        assert len(curve) == len(small_result.points)
+        with pytest.raises(ValueError):
+            small_result.curve("bogus")
+        with pytest.raises(ValueError):
+            small_result.curve("hybrid", "median")
+
+    def test_table_renders(self, small_result):
+        text = small_result.table()
+        assert "uni_avg" in text and "hybrid_max" in text
+
+    def test_group_size_capped_at_topology(self):
+        result = run_figure4(
+            Figure4Config(
+                node_count=50,
+                group_sizes=(200,),
+                trials_per_size=1,
+                seed=1,
+            )
+        )
+        assert result.points[0].group_size == 50
+
+    def test_prebuilt_topology_reused(self):
+        topology = as_graph(random.Random(3), node_count=120)
+        config = Figure4Config(
+            node_count=120, group_sizes=(5,), trials_per_size=2, seed=3
+        )
+        result = run_figure4(config, topology=topology)
+        assert result.points[0].group_size == 5
+
+    def test_deterministic_under_seed(self):
+        config = Figure4Config(
+            node_count=150, group_sizes=(10,), trials_per_size=2, seed=8
+        )
+        a = run_figure4(config)
+        b = run_figure4(config)
+        assert a.points[0].average_ratio == b.points[0].average_ratio

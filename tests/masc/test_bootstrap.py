@@ -1,0 +1,127 @@
+"""Tests for the start-up phase (section 4.4)."""
+
+import random
+
+import pytest
+
+from repro.addressing.prefix import MULTICAST_SPACE, Prefix
+from repro.masc.bootstrap import (
+    ExchangePoint,
+    assign_exchanges,
+    make_exchanges,
+    partition_space,
+)
+from repro.masc.config import MascConfig
+from repro.masc.node import MascNode, MascOverlay
+from repro.sim.engine import Simulator
+
+
+class TestPartitionSpace:
+    def test_single_share_is_whole_space(self):
+        assert partition_space(count=1) == [MULTICAST_SPACE]
+
+    def test_power_of_two_equal_shares(self):
+        shares = partition_space(count=4)
+        assert len(shares) == 4
+        assert all(p.length == 6 for p in shares)
+
+    def test_odd_count_covers_space(self):
+        shares = partition_space(count=3)
+        assert len(shares) == 3
+        assert sum(p.size for p in shares) == MULTICAST_SPACE.size
+        for i, a in enumerate(shares):
+            for b in shares[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_large_count(self):
+        shares = partition_space(count=7)
+        assert len(shares) == 7
+        assert sum(p.size for p in shares) == MULTICAST_SPACE.size
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            partition_space(count=0)
+
+
+class TestMakeExchanges:
+    def test_one_per_name(self):
+        exchanges = make_exchanges(["MAE-East", "LINX"])
+        assert [x.name for x in exchanges] == ["MAE-East", "LINX"]
+        assert exchanges[0].prefix != exchanges[1].prefix
+
+    def test_sources_scoped_to_share(self):
+        exchange = make_exchanges(["X"])[0]
+        candidate = exchange.source.select_claim(
+            8, random.Random(0), "first"
+        )
+        assert exchange.prefix.contains(candidate)
+
+
+class TestAssignExchanges:
+    def make_nodes(self, count):
+        sim = Simulator()
+        overlay = MascOverlay(sim)
+        config = MascConfig(claim_policy="first")
+        nodes = [
+            MascNode(i, f"T{i}", overlay, config=config)
+            for i in range(count)
+        ]
+        for i, node in enumerate(nodes):
+            for other in nodes[i + 1:]:
+                node.add_top_level_peer(other)
+        return sim, nodes
+
+    def test_round_robin_assignment(self):
+        sim, nodes = self.make_nodes(4)
+        exchanges = make_exchanges(["E0", "E1"])
+        chosen = assign_exchanges(nodes, exchanges)
+        assert chosen[nodes[0]].name == "E0"
+        assert chosen[nodes[1]].name == "E1"
+        assert chosen[nodes[2]].name == "E0"
+
+    def test_explicit_assignment(self):
+        sim, nodes = self.make_nodes(2)
+        exchanges = make_exchanges(["E0", "E1"])
+        chosen = assign_exchanges(
+            nodes, exchanges, assignment={"T0": "E1", "T1": "E1"}
+        )
+        assert chosen[nodes[0]].name == "E1"
+        assert chosen[nodes[1]].name == "E1"
+
+    def test_claims_stay_inside_exchange_share(self):
+        sim, nodes = self.make_nodes(4)
+        exchanges = make_exchanges(["E0", "E1"])
+        chosen = assign_exchanges(nodes, exchanges)
+        for node in nodes:
+            prefix = node.start_claim(8)
+            assert chosen[node].prefix.contains(prefix)
+
+    def test_cross_exchange_claims_never_collide(self):
+        # Deterministic policy: without exchanges every node picks the
+        # same range; with two exchanges only same-exchange pairs can
+        # collide.
+        sim, nodes = self.make_nodes(4)
+        exchanges = make_exchanges(["E0", "E1"])
+        assign_exchanges(nodes, exchanges)
+        for node in nodes:
+            node.start_claim(8)
+        sim.run(until=200.0)
+        # All four confirm: the two contenders per exchange resolve by
+        # the tie-break.
+        assert sum(n.claims_confirmed for n in nodes) == 4
+        claimed = [n.claimed.prefixes()[0] for n in nodes]
+        for i, a in enumerate(claimed):
+            for b in claimed[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_siblings_restricted_to_exchange(self):
+        sim, nodes = self.make_nodes(4)
+        exchanges = make_exchanges(["E0", "E1"])
+        assign_exchanges(nodes, exchanges)
+        assert nodes[2] in nodes[0].siblings
+        assert nodes[1] not in nodes[0].siblings
+
+    def test_rejects_no_exchanges(self):
+        sim, nodes = self.make_nodes(1)
+        with pytest.raises(ValueError):
+            assign_exchanges(nodes, [])

@@ -1,0 +1,70 @@
+"""Tests for section 7's fair-use enforcement: parents collide
+children's oversized claims."""
+
+import random
+
+import pytest
+
+from repro.addressing.prefix import Prefix
+from repro.masc.config import MascConfig
+from repro.masc.node import MascNode, MascOverlay
+from repro.sim.engine import Simulator
+
+
+def make_pair(fraction, parent_space="224.0.0.0/16"):
+    sim = Simulator()
+    overlay = MascOverlay(sim, delay=0.1)
+    config = MascConfig(
+        claim_policy="first", max_child_claim_fraction=fraction
+    )
+    parent = MascNode(0, "P", overlay, config=config)
+    parent.claimed.add(Prefix.parse(parent_space), float("inf"))
+    child = MascNode(1, "C", overlay, config=config,
+                     rng=random.Random(1))
+    child.set_parent(parent)
+    sim.run()  # deliver the space advertisement
+    return sim, parent, child
+
+
+class TestOversizeEnforcement:
+    def test_modest_claim_allowed(self):
+        sim, parent, child = make_pair(fraction=0.25)
+        confirmed = []
+        child.start_claim(24, on_confirmed=confirmed.append)
+        sim.run(until=60.0)
+        assert confirmed
+        assert parent.oversize_collisions == 0
+
+    def test_oversized_claim_collided(self):
+        # A /17 claim is half the parent's /16 — over the 25% cap.
+        sim, parent, child = make_pair(fraction=0.25)
+        confirmed = []
+        child.start_claim(17, on_confirmed=confirmed.append)
+        sim.run(until=300.0)
+        assert parent.oversize_collisions >= 1
+        # The child never confirms a /17 (every retry is oversized
+        # too, so eventually it gives up).
+        assert all(p.length > 18 for p in child.claimed.prefixes())
+
+    def test_boundary_claim_allowed(self):
+        # Exactly at the cap: a /18 is 25% of a /16.
+        sim, parent, child = make_pair(fraction=0.25)
+        confirmed = []
+        child.start_claim(18, on_confirmed=confirmed.append)
+        sim.run(until=60.0)
+        assert confirmed
+        assert parent.oversize_collisions == 0
+
+    def test_disabled_by_default(self):
+        sim, parent, child = make_pair(fraction=None)
+        confirmed = []
+        child.start_claim(17, on_confirmed=confirmed.append)
+        sim.run(until=60.0)
+        assert confirmed
+        assert parent.oversize_collisions == 0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            MascConfig(max_child_claim_fraction=0.0)
+        with pytest.raises(ValueError):
+            MascConfig(max_child_claim_fraction=1.5)

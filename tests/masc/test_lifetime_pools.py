@@ -1,0 +1,63 @@
+"""Tests for the two-pool lifetime model (section 4.3.1)."""
+
+import random
+
+from repro.masc.config import HOURS_PER_DAY, LifetimePools, MascConfig
+from repro.masc.maas import MaasServer
+from repro.masc.manager import DomainSpaceManager, RootClaimSource
+
+
+def make_maas(pools=None):
+    config = MascConfig(claim_policy="first", proactive_expansion=False)
+    manager = DomainSpaceManager(
+        "X", source=RootClaimSource(), config=config,
+        rng=random.Random(0),
+    )
+    return MaasServer(
+        manager, config=config, rng=random.Random(1), pools=pools
+    )
+
+
+class TestLifetimePools:
+    def test_default_pool_scales(self):
+        pools = LifetimePools()
+        assert pools.steady_lifetime > pools.surge_lifetime
+        assert pools.lifetime_for(steady=True) == pools.steady_lifetime
+        assert pools.lifetime_for(steady=False) == pools.surge_lifetime
+
+    def test_steady_request_uses_months_pool(self):
+        pools = LifetimePools(
+            steady_lifetime=90 * HOURS_PER_DAY,
+            surge_lifetime=7 * HOURS_PER_DAY,
+        )
+        maas = make_maas(pools)
+        lease = maas.request_block(now=0.0, steady=True)
+        assert lease.expires_at == 90 * HOURS_PER_DAY
+
+    def test_surge_request_uses_days_pool(self):
+        pools = LifetimePools(surge_lifetime=7 * HOURS_PER_DAY)
+        maas = make_maas(pools)
+        lease = maas.request_block(now=0.0, steady=False)
+        assert lease.expires_at == 7 * HOURS_PER_DAY
+
+    def test_explicit_lifetime_overrides_pools(self):
+        maas = make_maas(LifetimePools())
+        lease = maas.request_block(now=0.0, lifetime=5.0)
+        assert lease.expires_at == 5.0
+
+    def test_without_pools_uses_config_lifetime(self):
+        maas = make_maas()
+        lease = maas.request_block(now=0.0, steady=False)
+        assert lease.expires_at == maas.config.block_lifetime
+
+    def test_surge_blocks_recycle_quickly(self):
+        # The paper's motivation: surges should not pin space for
+        # months. A surge block expires days later and its space
+        # becomes reusable.
+        pools = LifetimePools(surge_lifetime=2 * HOURS_PER_DAY)
+        maas = make_maas(pools)
+        steady = maas.request_block(now=0.0, steady=True)
+        surge = maas.request_block(now=0.0, steady=False)
+        expired = maas.expire_blocks(now=3 * HOURS_PER_DAY)
+        assert [l.prefix for l in expired] == [surge.prefix]
+        assert steady.prefix in maas.leases

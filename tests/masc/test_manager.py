@@ -1,0 +1,273 @@
+"""Tests for the claim algorithm (DomainSpaceManager)."""
+
+import random
+
+import pytest
+
+from repro.addressing.prefix import MULTICAST_SPACE, Prefix
+from repro.masc.config import MascConfig
+from repro.masc.manager import DomainSpaceManager, RootClaimSource
+
+
+def make_manager(source=None, **config_kwargs):
+    config_kwargs.setdefault("claim_policy", "first")
+    config_kwargs.setdefault("proactive_expansion", False)
+    config = MascConfig(**config_kwargs)
+    if source is None:
+        source = RootClaimSource()
+    return DomainSpaceManager(
+        "X", source=source, config=config, rng=random.Random(0)
+    )
+
+
+class TestRootClaimSource:
+    def test_select_and_commit(self):
+        root = RootClaimSource()
+        prefix = root.select_claim(24, random.Random(0), "first")
+        assert prefix == Prefix.parse("224.0.0.0/24")
+        assert root.commit_claim(prefix)
+        assert not root.commit_claim(prefix)
+        assert root.allocated() == [prefix]
+        assert root.allocated_total() == 256
+
+    def test_grow(self):
+        root = RootClaimSource()
+        prefix = Prefix.parse("224.0.0.0/24")
+        root.commit_claim(prefix)
+        assert root.grow_claim(prefix)
+        assert root.allocated() == [Prefix.parse("224.0.0.0/23")]
+
+    def test_grow_blocked_by_buddy(self):
+        root = RootClaimSource()
+        prefix = Prefix.parse("224.0.0.0/24")
+        root.commit_claim(prefix)
+        root.commit_claim(prefix.buddy())
+        assert not root.grow_claim(prefix)
+
+    def test_release(self):
+        root = RootClaimSource()
+        prefix = Prefix.parse("224.0.0.0/24")
+        root.commit_claim(prefix)
+        root.release_claim(prefix)
+        assert root.allocated() == []
+
+    def test_random_policy_selection(self):
+        root = RootClaimSource()
+        rng = random.Random(2)
+        prefix = root.select_claim(24, rng, "random")
+        assert MULTICAST_SPACE.contains(prefix)
+
+
+class TestInitialClaim:
+    def test_first_block_claims_small_prefix(self):
+        manager = make_manager()
+        block = manager.request_block(256)
+        assert block is not None
+        assert block.size == 256
+        # The domain claimed exactly one /24 to host it.
+        assert manager.prefix_count() == 1
+        assert manager.prefixes()[0].size == 256
+        assert manager.claims_made == 1
+
+    def test_block_allocated_inside_claim(self):
+        manager = make_manager()
+        block = manager.request_block(256)
+        assert manager.prefixes()[0].contains(block)
+
+
+class TestDoubling:
+    def test_second_block_doubles(self):
+        # demand 512 over a doubled 512-space = 100% >= 75% threshold.
+        manager = make_manager()
+        manager.request_block(256)
+        manager.request_block(256)
+        assert manager.prefix_count() == 1
+        assert manager.prefixes()[0].size == 512
+        assert manager.doublings == 1
+
+    def test_repeated_growth_stays_within_prefix_cap(self):
+        manager = make_manager()
+        for _ in range(8):
+            assert manager.request_block(256) is not None
+        # 8 blocks = 2048 addresses. Growth alternates doubling (when
+        # post-double utilization >= 75%) with small extra prefixes
+        # (when it would fall below), per section 4.3.3 — the domain
+        # ends at the two-prefix cap with a perfectly packed space.
+        assert manager.prefix_count() <= 2
+        assert manager.pool.total_size() == 2048
+        assert manager.utilization() == 1.0
+        assert manager.doublings >= 3
+
+    def test_doubling_requires_threshold(self):
+        # With a huge first claim, adding one block keeps post-double
+        # utilization below 75%, so a small extra prefix is claimed
+        # instead of doubling.
+        manager = make_manager()
+        manager.expand(16)  # claim a /16 up front
+        assert manager.prefix_count() == 1
+        for _ in range(10):
+            manager.request_block(256)
+        # Demand 2560 over /16: far below threshold; never double.
+        assert manager.prefixes()[0].size == 65536
+        assert manager.doublings == 0
+
+    def test_doubling_blocked_by_taken_buddy(self):
+        root = RootClaimSource()
+        manager = make_manager(source=root)
+        manager.request_block(256)
+        claimed = manager.prefixes()[0]
+        root.commit_claim(claimed.buddy())  # another domain takes it
+        manager.request_block(256)
+        # Could not double in place: claimed a separate small prefix.
+        assert manager.prefix_count() == 2
+        assert manager.doublings == 0
+
+
+class TestConsolidation:
+    def test_third_prefix_consolidates(self):
+        root = RootClaimSource()
+        manager = make_manager(source=root, max_prefixes=2)
+        manager.request_block(256)
+        first = manager.prefixes()[0]
+        # Surround the claim so it can never double.
+        root.commit_claim(first.buddy())
+        manager.request_block(256)
+        assert manager.prefix_count() == 2
+        second = [p for p in manager.prefixes() if p != first][0]
+        root.commit_claim(second.buddy())
+        # Third block: both actives blocked, at the cap -> consolidate.
+        manager.request_block(256)
+        assert manager.consolidations == 1
+        # New large prefix active; old ones inactive but still held
+        # (their blocks are live), so count is 3 during the handover.
+        assert manager.prefix_count() == 3
+        active = [s for s in manager.pool.active_spaces()]
+        assert len(active) == 1
+        assert active[0].size >= 768
+
+    def test_old_prefixes_released_when_drained(self):
+        root = RootClaimSource()
+        manager = make_manager(source=root, max_prefixes=2)
+        b1 = manager.request_block(256)
+        first = manager.prefixes()[0]
+        root.commit_claim(first.buddy())
+        b2 = manager.request_block(256)
+        second = [p for p in manager.prefixes() if p != first][0]
+        root.commit_claim(second.buddy())
+        manager.request_block(256)
+        # Release the blocks living in the now-inactive prefixes.
+        manager.release_block(b1)
+        manager.release_block(b2)
+        assert manager.prefix_count() == 1
+        # The drained prefixes returned to the root space.
+        assert first not in root.allocated()
+        assert second not in root.allocated()
+
+
+class TestReleaseAccounting:
+    def test_callbacks_fire(self):
+        claimed, released = [], []
+        root = RootClaimSource()
+        config = MascConfig(claim_policy="first",
+                            proactive_expansion=False)
+        manager = DomainSpaceManager(
+            "X",
+            source=root,
+            config=config,
+            rng=random.Random(0),
+            on_claimed=claimed.append,
+            on_released=released.append,
+        )
+        manager.request_block(256)
+        manager.request_block(256)  # doubling: release /24, claim /23
+        assert len(claimed) == 2
+        assert len(released) == 1
+        assert released[0].size == 256
+        assert claimed[-1].size == 512
+
+    def test_active_empty_space_is_kept(self):
+        manager = make_manager()
+        block = manager.request_block(256)
+        manager.release_block(block)
+        # Active space retained even when empty (domains keep their
+        # allocation while it is current).
+        assert manager.prefix_count() == 1
+
+
+class TestProactiveExpansion:
+    def test_parent_claims_headroom(self):
+        root = RootClaimSource()
+        config = MascConfig(claim_policy="first")
+        parent = DomainSpaceManager(
+            "P", source=root, config=config, rng=random.Random(0)
+        )
+        # A child claims 7/8 of the parent's initial space.
+        child_prefix = parent.select_claim(24, random.Random(0), "first")
+        assert parent.commit_claim(child_prefix)
+        # Parent claimed /24 for it; 100% > 75% -> proactive headroom.
+        assert parent.pool.utilization() <= 1.0
+        assert parent.pool.total_size() > 256 or parent.claims_failed
+
+    def test_disabled_proactive(self):
+        manager = make_manager()  # proactive off
+        prefix = manager.select_claim(24, random.Random(0), "first")
+        manager.commit_claim(prefix)
+        assert manager.pool.total_size() == 256
+
+
+class TestParentChildInteraction:
+    def test_child_claims_nest_in_parent(self):
+        root = RootClaimSource()
+        parent = make_manager(source=root)
+        child = make_manager(source=parent)
+        child.request_block(256)
+        child_prefix = child.prefixes()[0]
+        parent_prefix = parent.prefixes()[0]
+        assert parent_prefix.contains(child_prefix)
+
+    def test_two_children_disjoint(self):
+        root = RootClaimSource()
+        parent = make_manager(source=root)
+        a = DomainSpaceManager(
+            "A", source=parent,
+            config=MascConfig(claim_policy="random",
+                              proactive_expansion=False),
+            rng=random.Random(1),
+        )
+        b = DomainSpaceManager(
+            "B", source=parent,
+            config=MascConfig(claim_policy="random",
+                              proactive_expansion=False),
+            rng=random.Random(2),
+        )
+        for _ in range(5):
+            assert a.request_block(256) is not None
+            assert b.request_block(256) is not None
+        for pa in a.prefixes():
+            for pb in b.prefixes():
+                assert not pa.overlaps(pb)
+
+    def test_exhaustion_returns_none(self):
+        # A root of a single /24 cannot host two /24 claims.
+        root = RootClaimSource(Prefix.parse("224.0.0.0/24"))
+        manager = make_manager(source=root)
+        assert manager.request_block(256) is not None
+        other = make_manager(source=root)
+        assert other.request_block(256) is None
+        assert other.claims_failed > 0
+
+    def test_deep_hierarchy_expansion_recurses(self):
+        root = RootClaimSource()
+        top = make_manager(source=root)
+        mid = make_manager(source=top)
+        leaf = make_manager(source=mid)
+        for _ in range(6):
+            assert leaf.request_block(256) is not None
+        # Every level's holdings nest.
+        leaf_p = leaf.prefixes()
+        mid_p = mid.prefixes()
+        top_p = top.prefixes()
+        for p in leaf_p:
+            assert any(m.contains(p) for m in mid_p)
+        for p in mid_p:
+            assert any(t.contains(p) for t in top_p)

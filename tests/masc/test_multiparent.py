@@ -1,0 +1,118 @@
+"""Tests for multi-parent MASC domains (section 4: "a domain that is a
+customer of other domains will choose one or more of those provider
+domains to be its MASC parent")."""
+
+import random
+
+import pytest
+
+from repro.addressing.prefix import Prefix
+from repro.masc.config import MascConfig
+from repro.masc.node import MascNode, MascOverlay
+from repro.sim.engine import Simulator
+
+
+def build(policy="first"):
+    sim = Simulator()
+    overlay = MascOverlay(sim, delay=0.1)
+    config = MascConfig(claim_policy=policy, waiting_period=10.0)
+
+    def node(node_id, name, seed=None):
+        return MascNode(
+            node_id, name, overlay, config=config,
+            rng=random.Random(seed if seed is not None else node_id),
+        )
+
+    return sim, node
+
+
+class TestMultiParent:
+    def test_child_sees_union_of_parent_spaces(self):
+        sim, node = build()
+        p1 = node(0, "P1")
+        p1.claimed.add(Prefix.parse("224.1.0.0/16"), float("inf"))
+        p2 = node(1, "P2")
+        p2.claimed.add(Prefix.parse("230.0.0.0/16"), float("inf"))
+        child = node(2, "C")
+        child.set_parent(p1)
+        child.set_parent(p2)
+        sim.run()
+        assert set(child.parent_spaces) == {
+            Prefix.parse("224.1.0.0/16"),
+            Prefix.parse("230.0.0.0/16"),
+        }
+        assert child.parent is p1  # primary parent
+
+    def test_claim_can_come_from_either_parent(self):
+        sim, node = build(policy="random")
+        p1 = node(0, "P1")
+        p1.claimed.add(Prefix.parse("224.1.0.0/16"), float("inf"))
+        p2 = node(1, "P2")
+        p2.claimed.add(Prefix.parse("230.0.0.0/16"), float("inf"))
+        child = node(2, "C", seed=7)
+        child.set_parent(p1)
+        child.set_parent(p2)
+        sim.run()
+        picks = {child._select(24) for _ in range(40)}
+        assert any(Prefix.parse("224.1.0.0/16").contains(p) for p in picks)
+        assert any(Prefix.parse("230.0.0.0/16").contains(p) for p in picks)
+
+    def test_claims_announced_to_all_parents(self):
+        sim, node = build()
+        p1 = node(0, "P1")
+        p1.claimed.add(Prefix.parse("224.1.0.0/16"), float("inf"))
+        p2 = node(1, "P2")
+        p2.claimed.add(Prefix.parse("230.0.0.0/16"), float("inf"))
+        child = node(2, "C")
+        child.set_parent(p1)
+        child.set_parent(p2)
+        sim.run()
+        prefix = child.start_claim(24)
+        sim.run(until=20.0)
+        assert prefix in child.claimed.prefixes()
+        assert prefix in p1.heard_claims
+        assert prefix in p2.heard_claims
+
+    def test_siblings_across_parents(self):
+        sim, node = build()
+        p1 = node(0, "P1")
+        p1.claimed.add(Prefix.parse("224.1.0.0/16"), float("inf"))
+        other = node(3, "other")
+        other.set_parent(p1)
+        child = node(2, "C")
+        child.set_parent(p1)
+        assert other in child.siblings
+        assert child in other.siblings
+
+    def test_duplicate_set_parent_idempotent(self):
+        sim, node = build()
+        p1 = node(0, "P1")
+        child = node(2, "C")
+        child.set_parent(p1)
+        child.set_parent(p1)
+        assert child.parents == [p1]
+        assert p1.children.count(child) == 1
+
+    def test_advertisement_update_per_parent(self):
+        sim, node = build()
+        p1 = node(0, "P1")
+        p1.claimed.add(Prefix.parse("224.1.0.0/16"), float("inf"))
+        p2 = node(1, "P2")
+        p2.claimed.add(Prefix.parse("230.0.0.0/16"), float("inf"))
+        child = node(2, "C")
+        child.set_parent(p1)
+        child.set_parent(p2)
+        sim.run()
+        # P2 grows; only its contribution changes.
+        p2.claimed.add(Prefix.parse("231.0.0.0/16"), float("inf"))
+        p2.advertise_space()
+        sim.run()
+        assert Prefix.parse("231.0.0.0/16") in child.parent_spaces
+        assert Prefix.parse("224.1.0.0/16") in child.parent_spaces
+
+    def test_no_parents_claims_class_d(self):
+        sim, node = build()
+        top = node(0, "T")
+        from repro.addressing.prefix import MULTICAST_SPACE
+
+        assert top.parent_spaces == [MULTICAST_SPACE]

@@ -1,0 +1,258 @@
+"""Tests for the claim-collide protocol state machine."""
+
+import random
+
+from repro.addressing.prefix import MULTICAST_SPACE, Prefix
+from repro.masc.config import MascConfig
+from repro.masc.node import MascNode, MascOverlay
+from repro.sim.engine import Simulator
+
+
+def make_overlay(delay=0.1):
+    sim = Simulator()
+    return sim, MascOverlay(sim, delay=delay)
+
+
+def make_node(node_id, name, overlay, **config_kwargs):
+    config_kwargs.setdefault("claim_policy", "first")
+    config = MascConfig(**config_kwargs)
+    return MascNode(
+        node_id, name, overlay, config=config,
+        rng=random.Random(node_id),
+    )
+
+
+class TestBasicClaim:
+    def test_uncontested_claim_confirms_after_waiting_period(self):
+        sim, overlay = make_overlay()
+        parent = make_node(0, "A", overlay)
+        child = make_node(1, "B", overlay)
+        child.set_parent(parent)
+        confirmed = []
+        prefix = child.start_claim(24, on_confirmed=confirmed.append)
+        assert prefix is not None
+        sim.run(until=47.9)
+        assert confirmed == []  # still inside the waiting period
+        sim.run(until=49.0)
+        assert confirmed == [prefix]
+        assert child.claims_confirmed == 1
+        assert prefix in child.claimed.prefixes()
+
+    def test_claim_selects_from_parent_space(self):
+        sim, overlay = make_overlay()
+        parent = make_node(0, "A", overlay)
+        parent.claimed.add(Prefix.parse("224.0.0.0/16"), float("inf"))
+        child = make_node(1, "B", overlay)
+        child.set_parent(parent)
+        sim.run()  # deliver the space advertisement
+        assert child.parent_spaces == [Prefix.parse("224.0.0.0/16")]
+        prefix = child.start_claim(24)
+        assert Prefix.parse("224.0.0.0/16").contains(prefix)
+
+    def test_top_level_claims_from_class_d(self):
+        sim, overlay = make_overlay()
+        top = make_node(0, "T", overlay)
+        prefix = top.start_claim(8)
+        assert MULTICAST_SPACE.contains(prefix)
+
+    def test_claim_avoids_heard_claims(self):
+        sim, overlay = make_overlay()
+        a = make_node(0, "A", overlay)
+        b = make_node(1, "B", overlay)
+        a.add_top_level_peer(b)
+        first = a.start_claim(6)
+        sim.run(until=1.0)  # b hears a's claim
+        second = b.start_claim(6)
+        assert not first.overlaps(second)
+
+    def test_no_space_fails_immediately(self):
+        sim, overlay = make_overlay()
+        node = make_node(0, "A", overlay)
+        node.parent_spaces = [Prefix.parse("224.0.0.0/24")]
+        node.heard_claims[Prefix.parse("224.0.0.0/24")] = 99
+        failures = []
+        result = node.start_claim(
+            24, on_failed=lambda: failures.append(True)
+        )
+        assert result is None
+        assert failures == [True]
+        assert node.claims_failed == 1
+
+
+class TestPaperFigure1Scenario:
+    """Section 4.1's walk-through: B claims 224.0.1.0/24 out of A's
+    224.0.0.0/16; C already uses part of that range and sends a
+    collision; B gives up and claims 224.0.128.0/24 instead."""
+
+    def test_collision_and_reclaim(self):
+        sim, overlay = make_overlay()
+        a = make_node(0, "A", overlay)
+        a.claimed.add(Prefix.parse("224.0.0.0/16"), float("inf"))
+        b = make_node(1, "B", overlay)
+        c = make_node(2, "C", overlay)
+        b.set_parent(a)
+        c.set_parent(a)
+        sim.run()
+        # C already holds the low /25 of 224.0.1.0/24 (figure 1 labels
+        # C's range 224.0.1.1/25).
+        c_range = Prefix.parse("224.0.1.0/25")
+        c.claimed.add(c_range, float("inf"))
+        # Constrain B's view so exactly two /24s look free — the
+        # paper's 224.0.1.0/24 (first pick) and 224.0.128.0/24 (the
+        # range B ends up with after the collision).
+        free = {Prefix.parse("224.0.1.0/24"), Prefix.parse("224.0.128.0/24")}
+        stack = [Prefix.parse("224.0.0.0/16")]
+        while stack:
+            block = stack.pop()
+            if block in free:
+                continue
+            if any(block.contains(f) for f in free):
+                stack.extend(block.children())
+            else:
+                b.heard_claims[block] = 9
+        first_pick = Prefix.parse("224.0.1.0/24")
+        confirmed = []
+        # B, using the deterministic policy, picks 224.0.1.0/24 (the
+        # first free /24 in its view).
+        picked = b.start_claim(24, on_confirmed=confirmed.append)
+        assert picked == first_pick
+        sim.run(until=60.0)
+        # C collided; B re-claimed a different range and confirmed it.
+        assert c.collisions_sent == 1
+        assert b.collisions_received == 1
+        assert len(confirmed) == 1
+        final = confirmed[0]
+        assert not final.overlaps(c_range)
+        assert final in b.claimed.prefixes()
+        assert first_pick not in b.claimed.prefixes()
+
+
+class TestSimultaneousClaims:
+    def test_lower_id_wins(self):
+        sim, overlay = make_overlay()
+        a = make_node(0, "A", overlay, claim_policy="first")
+        b = make_node(5, "B", overlay, claim_policy="first")
+        a.add_top_level_peer(b)
+        confirmed_a, confirmed_b = [], []
+        pa = a.start_claim(8, on_confirmed=confirmed_a.append)
+        pb = b.start_claim(8, on_confirmed=confirmed_b.append)
+        assert pa == pb  # both deterministically pick the same range
+        sim.run(until=120.0)
+        assert confirmed_a == [pa]
+        assert confirmed_b, "loser must re-claim and confirm elsewhere"
+        assert confirmed_b[0] != pa
+        # B abandoned on hearing A's (winning) claim directly, so A's
+        # explicit collision message found no pending claim; A still
+        # sent one because it won the tie-break.
+        assert a.collisions_sent == 1
+        assert a.collisions_received == 0
+
+    def test_both_confirm_disjoint_ranges(self):
+        sim, overlay = make_overlay()
+        nodes = [
+            make_node(i, f"N{i}", overlay, claim_policy="first")
+            for i in range(4)
+        ]
+        for i, node in enumerate(nodes):
+            for other in nodes[i + 1:]:
+                node.add_top_level_peer(other)
+        confirmed = {}
+        for node in nodes:
+            node.start_claim(
+                8,
+                on_confirmed=lambda p, n=node: confirmed.setdefault(
+                    n.name, p
+                ),
+            )
+        sim.run(until=500.0)
+        assert len(confirmed) == 4
+        prefixes = list(confirmed.values())
+        for i, x in enumerate(prefixes):
+            for y in prefixes[i + 1:]:
+                assert not x.overlaps(y)
+
+
+class TestPartitions:
+    def test_partition_causes_late_collision_resolution(self):
+        sim, overlay = make_overlay()
+        a = make_node(0, "A", overlay, claim_policy="first",
+                      waiting_period=48.0)
+        b = make_node(1, "B", overlay, claim_policy="first",
+                      waiting_period=48.0)
+        a.add_top_level_peer(b)
+        overlay.cut(a, b)
+        pa = a.start_claim(8)
+        pb = b.start_claim(8)
+        assert pa == pb  # neither hears the other
+        # Heal within the waiting period: claims are re-announced by
+        # neither (announcement already sent), but the allocation is
+        # still pending; model the paper's assumption that the waiting
+        # period spans the partition by healing and re-announcing.
+        sim.run(until=10.0)
+        overlay.heal(a, b)
+        # B re-announces (e.g. periodic re-claim); A, with the lower
+        # id, sends a collision.
+        b._announce(b._pending[0])
+        sim.run(until=200.0)
+        assert a.claims_confirmed == 1
+        assert b.claims_confirmed == 1
+        confirmed_b = b.claimed.prefixes()
+        assert confirmed_b[0] != pa
+
+    def test_unhealed_partition_double_allocation(self):
+        # The failure mode the waiting period exists to bound: if the
+        # partition outlasts the waiting period, both sides confirm the
+        # same range.
+        sim, overlay = make_overlay()
+        a = make_node(0, "A", overlay, claim_policy="first")
+        b = make_node(1, "B", overlay, claim_policy="first")
+        a.add_top_level_peer(b)
+        overlay.cut(a, b)
+        pa = a.start_claim(8)
+        pb = b.start_claim(8)
+        sim.run(until=100.0)
+        assert pa in a.claimed.prefixes()
+        assert pb in b.claimed.prefixes()
+        assert pa == pb
+
+
+class TestRetriesAndLifetime:
+    def test_retry_exhaustion(self):
+        sim, overlay = make_overlay()
+        squatter = make_node(0, "S", overlay, claim_policy="first",
+                             max_claim_attempts=2)
+        loser = make_node(1, "L", overlay, claim_policy="first",
+                          max_claim_attempts=2)
+        squatter.add_top_level_peer(loser)
+        # The squatter owns everything.
+        squatter.claimed.add(MULTICAST_SPACE, float("inf"))
+        failures = []
+        loser.start_claim(8, on_failed=lambda: failures.append(True))
+        sim.run(until=500.0)
+        assert failures == [True]
+
+    def test_lifetime_expiry_releases_range(self):
+        sim, overlay = make_overlay()
+        node = make_node(0, "A", overlay)
+        released = []
+        node._on_released = released.append
+        prefix = node.start_claim(8, lifetime=100.0)
+        sim.run(until=49.0)
+        assert prefix in node.claimed.prefixes()
+        sim.run(until=150.0)
+        expired = node.expire()
+        assert expired == [prefix]
+        assert released == [prefix]
+        assert node.claimed.prefixes() == []
+
+    def test_release_notifies_siblings(self):
+        sim, overlay = make_overlay()
+        a = make_node(0, "A", overlay, claim_policy="first")
+        b = make_node(1, "B", overlay, claim_policy="first")
+        a.add_top_level_peer(b)
+        prefix = a.start_claim(8)
+        sim.run(until=60.0)
+        assert prefix in b.heard_claims
+        a.release(prefix)
+        sim.run(until=61.0)
+        assert prefix not in b.heard_claims

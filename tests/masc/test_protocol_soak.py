@@ -1,0 +1,116 @@
+"""Protocol-level MASC soak: many nodes, randomized claim/release
+churn, message delays — the global invariant is that no two confirmed
+claims ever overlap (absent partitions)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing.prefix import MULTICAST_SPACE, Prefix
+from repro.masc.config import MascConfig
+from repro.masc.node import MascNode, MascOverlay
+from repro.sim.engine import Simulator
+
+
+def build_nodes(count, seed, policy="random", waiting=24.0):
+    sim = Simulator()
+    overlay = MascOverlay(sim, delay=0.25)
+    config = MascConfig(
+        claim_policy=policy,
+        waiting_period=waiting,
+        max_claim_attempts=count + 4,
+    )
+    nodes = [
+        MascNode(i, f"N{i}", overlay, config=config,
+                 rng=random.Random(seed * 997 + i))
+        for i in range(count)
+    ]
+    for i, node in enumerate(nodes):
+        for other in nodes[i + 1:]:
+            node.add_top_level_peer(other)
+    return sim, nodes
+
+
+def assert_no_overlaps(nodes):
+    claims = [
+        (node.name, prefix)
+        for node in nodes
+        for prefix in node.claimed.prefixes()
+    ]
+    for i, (name_a, a) in enumerate(claims):
+        for name_b, b in claims[i + 1:]:
+            if name_a == name_b:
+                continue
+            assert not a.overlaps(b), (
+                f"{name_a}:{a} overlaps {name_b}:{b}"
+            )
+
+
+class TestProtocolSoak:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_churn_never_double_allocates(self, seed):
+        rng = random.Random(seed)
+        sim, nodes = build_nodes(8, seed)
+
+        def churn(round_index):
+            for node in nodes:
+                roll = rng.random()
+                if roll < 0.5:
+                    node.start_claim(rng.randint(8, 12))
+                elif node.claimed.prefixes() and roll < 0.7:
+                    node.release(rng.choice(node.claimed.prefixes()))
+            assert_no_overlaps(nodes)
+            if round_index < 5:
+                sim.schedule(30.0, churn, round_index + 1)
+
+        sim.schedule(0.0, churn, 0)
+        sim.run(until=600.0)
+        assert_no_overlaps(nodes)
+        confirmed = sum(n.claims_confirmed for n in nodes)
+        assert confirmed > 0
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_staggered_claims_all_confirm(self, seed):
+        sim, nodes = build_nodes(10, seed)
+        for index, node in enumerate(nodes):
+            sim.schedule(index * 5.0, node.start_claim, 8)
+        sim.run(until=1000.0)
+        assert_no_overlaps(nodes)
+        assert sum(n.claims_confirmed for n in nodes) == 10
+
+    def test_released_space_is_reclaimable(self):
+        sim, nodes = build_nodes(2, 3, policy="first")
+        first, second = nodes
+        prefix = first.start_claim(6)
+        sim.run(until=50.0)
+        assert prefix in first.claimed.prefixes()
+        first.release(prefix)
+        sim.run(until=60.0)
+        # Second node can now claim the exact same (largest) block.
+        picked = second.start_claim(6)
+        assert picked == prefix
+        sim.run(until=120.0)
+        assert picked in second.claimed.prefixes()
+
+    def test_deep_hierarchy_protocol_claims(self):
+        # Parent -> child -> grandchild claim chain over messages.
+        sim = Simulator()
+        overlay = MascOverlay(sim, delay=0.1)
+        config = MascConfig(claim_policy="first", waiting_period=10.0)
+        top = MascNode(0, "top", overlay, config=config)
+        mid = MascNode(1, "mid", overlay, config=config)
+        leaf = MascNode(2, "leaf", overlay, config=config)
+        mid.set_parent(top)
+        leaf.set_parent(mid)
+        top_prefix = top.start_claim(8)
+        sim.run(until=20.0)
+        assert top_prefix in top.claimed.prefixes()
+        mid_prefix = mid.start_claim(16)
+        sim.run(until=40.0)
+        assert top_prefix.contains(mid_prefix)
+        leaf_prefix = leaf.start_claim(24)
+        sim.run(until=60.0)
+        assert mid_prefix.contains(leaf_prefix)

@@ -1,0 +1,99 @@
+"""Tests for the sdr-style flat random allocation model."""
+
+import random
+
+import pytest
+
+from repro.masc.sdr import (
+    FlatRandomAllocator,
+    SessionDirectory,
+    measure_collision_curve,
+)
+from repro.sim.engine import Simulator
+
+
+def make_directory(space=256, delay=1.0):
+    sim = Simulator()
+    return sim, SessionDirectory(sim, space, delay)
+
+
+class TestSessionDirectory:
+    def test_assignment_announces(self):
+        sim, directory = make_directory()
+        a = directory.add_allocator("a", random.Random(1))
+        address = a.assign()
+        assert address is not None
+        assert directory.assignments == 1
+        assert directory.utilization() == 1 / 256
+
+    def test_propagation_is_delayed(self):
+        sim, directory = make_directory(delay=5.0)
+        a = directory.add_allocator("a", random.Random(1))
+        b = directory.add_allocator("b", random.Random(2))
+        address = a.assign()
+        assert address not in b.known_used
+        sim.run(until=5.0)
+        assert address in b.known_used
+
+    def test_simultaneous_picks_can_collide(self):
+        # Tiny space, one free address, two allocators pick before
+        # either hears of the other's assignment.
+        sim, directory = make_directory(space=4, delay=10.0)
+        directory._truth = {0, 1, 2}
+        a = directory.add_allocator("a", random.Random(1))
+        b = directory.add_allocator("b", random.Random(2))
+        assert a.assign() == 3
+        assert b.assign() == 3
+        assert directory.collisions == 1
+        assert directory.collision_rate() == 0.5
+
+    def test_no_collision_when_views_current(self):
+        sim, directory = make_directory(space=64, delay=0.0)
+        a = directory.add_allocator("a", random.Random(1))
+        b = directory.add_allocator("b", random.Random(2))
+        for index in range(30):
+            allocator = a if index % 2 else b
+            allocator.assign()
+            sim.run()  # propagate instantly
+        assert directory.collisions == 0
+
+    def test_full_space_returns_none(self):
+        sim, directory = make_directory(space=4)
+        a = directory.add_allocator("a", random.Random(1))
+        a.known_used = {0, 1, 2, 3}
+        assert a.assign() is None
+
+    def test_newcomer_learns_current_state(self):
+        sim, directory = make_directory()
+        directory._truth = {5, 6}
+        late = directory.add_allocator("late", random.Random(3))
+        assert late.known_used == {5, 6}
+
+
+class TestCollisionCurve:
+    def test_rises_steeply_with_utilization(self):
+        # The paper's motivation: collisions increase steeply once the
+        # in-use fraction crosses a threshold.
+        curve = measure_collision_curve(
+            utilizations=(0.05, 0.5, 0.95),
+            space_size=2048,
+            allocator_count=10,
+            assignments_per_point=200,
+            notification_delay=2.0,
+            inter_assignment=0.02,
+            seed=1,
+        )
+        low, mid, high = (rate for _, rate in curve)
+        assert low < 0.05
+        assert high > mid >= low
+        assert high > 10 * max(low, 0.001)
+
+    def test_zero_delay_is_nearly_collision_free(self):
+        curve = measure_collision_curve(
+            utilizations=(0.9,),
+            space_size=2048,
+            notification_delay=0.0,
+            inter_assignment=0.1,
+            seed=2,
+        )
+        assert curve[0][1] < 0.02

@@ -1,0 +1,194 @@
+"""Tests for the MIGP component models."""
+
+import pytest
+
+from repro.migp import MIGP_KINDS, make_migp
+from repro.migp.base import MigpComponent
+from repro.migp.cbt import Cbt
+from repro.migp.dvmrp import Dvmrp
+from repro.migp.mospf import Mospf
+from repro.migp.pim import PimDense, PimSparse
+from repro.migp.static import StaticMigp
+from repro.topology.domain import Domain
+
+
+GROUP = 0xE0008001
+
+
+def make_domain(router_count=3, name="A", domain_id=0):
+    domain = Domain(domain_id, name=name)
+    for index in range(router_count):
+        domain.router(f"{name}{index + 1}")
+    return domain
+
+
+class TestFactory:
+    def test_all_kinds_constructible(self):
+        domain = make_domain()
+        for kind in MIGP_KINDS:
+            component = make_migp(kind, domain)
+            assert isinstance(component, MigpComponent)
+            assert component.name == kind or kind == "static"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_migp("ospf", make_domain())
+
+
+class TestMembership:
+    def test_add_and_remove(self):
+        domain = make_domain()
+        migp = StaticMigp(domain)
+        host = domain.host("h1")
+        assert migp.add_member(host, GROUP)
+        assert not migp.add_member(host, GROUP)
+        assert migp.has_members(GROUP)
+        assert migp.members_of(GROUP) == {host}
+        assert migp.remove_member(host, GROUP)
+        assert not migp.remove_member(host, GROUP)
+        assert not migp.has_members(GROUP)
+
+    def test_foreign_host_rejected(self):
+        migp = StaticMigp(make_domain())
+        other = make_domain(name="B", domain_id=1)
+        with pytest.raises(ValueError):
+            migp.add_member(other.host("h"), GROUP)
+
+
+class TestAttachment:
+    def test_attach_detach(self):
+        domain = make_domain()
+        migp = StaticMigp(domain)
+        router = domain.router("A1")
+        migp.attach(router, GROUP)
+        assert migp.attached_routers(GROUP) == {router}
+        migp.detach(router, GROUP)
+        assert migp.attached_routers(GROUP) == set()
+
+    def test_foreign_router_rejected(self):
+        migp = StaticMigp(make_domain())
+        other = make_domain(name="B", domain_id=1)
+        with pytest.raises(ValueError):
+            migp.attach(other.router("B1"), GROUP)
+
+    def test_inject_forwards_to_other_attached(self):
+        domain = make_domain()
+        migp = StaticMigp(domain)
+        r1, r2, r3 = (domain.router(f"A{i}") for i in (1, 2, 3))
+        migp.attach(r1, GROUP)
+        migp.attach(r2, GROUP)
+        result = migp.inject(GROUP, via=r1, source_domain=None)
+        assert result.forward_routers == [r2]
+        assert not result.encapsulated
+
+    def test_inject_counts_members(self):
+        domain = make_domain()
+        migp = StaticMigp(domain)
+        migp.add_member(domain.host("h1"), GROUP)
+        migp.add_member(domain.host("h2"), GROUP)
+        result = migp.inject(GROUP, via=None, source_domain=None)
+        assert result.local_members == 2
+
+
+class TestDvmrp:
+    def test_membership_change_floods(self):
+        domain = make_domain(router_count=4)
+        migp = Dvmrp(domain)
+        migp.add_member(domain.host("h"), GROUP)
+        assert migp.control_messages >= 4
+        assert migp.floods == 1
+
+    def test_rpf_encapsulation(self):
+        domain = make_domain()
+        source_domain = make_domain(name="S", domain_id=1)
+        rpf = domain.router("A2")
+        migp = Dvmrp(domain, unicast_resolver=lambda d, s: rpf)
+        entry = domain.router("A1")
+        result = migp.inject(GROUP, via=entry, source_domain=source_domain)
+        assert result.encapsulated
+        assert result.decapsulating_router is rpf
+        assert migp.encapsulations == 1
+
+    def test_no_encapsulation_at_rpf_router(self):
+        domain = make_domain()
+        source_domain = make_domain(name="S", domain_id=1)
+        rpf = domain.router("A2")
+        migp = Dvmrp(domain, unicast_resolver=lambda d, s: rpf)
+        result = migp.inject(GROUP, via=rpf, source_domain=source_domain)
+        assert not result.encapsulated
+
+    def test_local_source_never_encapsulates(self):
+        domain = make_domain()
+        migp = Dvmrp(domain, unicast_resolver=lambda d, s: None)
+        result = migp.inject(GROUP, via=None, source_domain=domain)
+        assert not result.encapsulated
+
+    def test_first_packet_floods_then_prunes(self):
+        domain = make_domain(router_count=4)
+        source_domain = make_domain(name="S", domain_id=1)
+        migp = Dvmrp(domain, unicast_resolver=lambda d, s: None)
+        before = migp.floods
+        migp.inject(GROUP, via=domain.router("A1"),
+                    source_domain=source_domain)
+        assert migp.floods == before + 1
+        floods_after_first = migp.floods
+        migp.inject(GROUP, via=domain.router("A1"),
+                    source_domain=source_domain)
+        assert migp.floods == floods_after_first  # pruned state persists
+
+
+class TestPim:
+    def test_sparse_rp_is_stable(self):
+        domain = make_domain()
+        migp = PimSparse(domain)
+        assert migp.rendezvous_point(GROUP) is migp.rendezvous_point(GROUP)
+
+    def test_sparse_register_encapsulation_once(self):
+        domain = make_domain()
+        migp = PimSparse(domain)
+        migp.inject(GROUP, via=None, source_domain=domain)
+        assert migp.encapsulations == 1
+        migp.inject(GROUP, via=None, source_domain=domain)
+        assert migp.encapsulations == 1  # registered already
+
+    def test_sparse_join_is_cheap(self):
+        domain = make_domain(router_count=6)
+        migp = PimSparse(domain)
+        migp.add_member(domain.host("h"), GROUP)
+        assert migp.control_messages == 1  # no flooding
+
+    def test_dense_encapsulates_like_dvmrp(self):
+        domain = make_domain()
+        source_domain = make_domain(name="S", domain_id=1)
+        rpf = domain.router("A2")
+        migp = PimDense(domain, unicast_resolver=lambda d, s: rpf)
+        result = migp.inject(
+            GROUP, via=domain.router("A1"), source_domain=source_domain
+        )
+        assert result.encapsulated
+
+
+class TestCbtAndMospf:
+    def test_cbt_core_stable(self):
+        domain = make_domain()
+        migp = Cbt(domain)
+        assert migp.core(GROUP) is migp.core(GROUP)
+
+    def test_cbt_join_cost(self):
+        domain = make_domain()
+        migp = Cbt(domain)
+        migp.add_member(domain.host("h"), GROUP)
+        assert migp.control_messages == 2  # join + ack
+
+    def test_mospf_floods_membership(self):
+        domain = make_domain(router_count=5)
+        migp = Mospf(domain)
+        migp.add_member(domain.host("h"), GROUP)
+        assert migp.control_messages >= 5
+        assert migp.floods == 1
+
+    def test_static_join_free(self):
+        domain = make_domain(router_count=1)
+        migp = StaticMigp(domain)
+        migp.add_member(domain.host("h"), GROUP)
+        assert migp.control_messages == 0

@@ -1,0 +1,139 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_fifo(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.schedule(5.0, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_at(12.0, fired.append, True)
+        sim.run()
+        assert fired == [True]
+        assert sim.now == 12.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(sim.now)
+            if depth:
+                sim.schedule(1.0, chain, depth - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_mid_run(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_processed_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.processed == 1
+
+
+class TestRunBounds:
+    def test_until_stops_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        assert fired == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_event_at_until_boundary_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        assert sim.step()
+        assert fired == ["a"]
+        assert not sim.step()
+
+    def test_clear(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.clear()
+        sim.run()
+        assert fired == []
+        assert sim.pending == 0

@@ -1,0 +1,186 @@
+"""Tests for statistics collection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    Counter,
+    StatRegistry,
+    TimeSeries,
+    percentile,
+    summarize,
+)
+
+
+class TestTimeSeries:
+    def test_record_and_iterate(self):
+        series = TimeSeries("util")
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert list(series) == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(series) == 2
+
+    def test_rejects_backwards_time(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        series.record(5.0, 2.0)
+        assert len(series) == 2
+
+    def test_last(self):
+        series = TimeSeries()
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert series.last() == (2.0, 20.0)
+
+    def test_last_empty_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries().last()
+
+    def test_value_at_step_semantics(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(10.0, 2.0)
+        assert series.value_at(0.0) == 1.0
+        assert series.value_at(9.9) == 1.0
+        assert series.value_at(10.0) == 2.0
+        assert series.value_at(50.0) == 2.0
+
+    def test_value_at_before_first_raises(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.value_at(4.0)
+
+    def test_window(self):
+        series = TimeSeries("x")
+        for t in range(10):
+            series.record(float(t), float(t))
+        clipped = series.window(3.0, 6.0)
+        assert list(clipped.times) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_mean_and_max(self):
+        series = TimeSeries()
+        for value in (1.0, 3.0, 5.0):
+            series.record(0.0 if not len(series) else series.times[-1] + 1,
+                          value)
+        assert series.mean() == 3.0
+        assert series.max() == 5.0
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("claims")
+        counter.increment()
+        counter.increment(4)
+        assert int(counter) == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.mean == 2.5
+        assert stats.median == 2.5
+
+    def test_odd_median(self):
+        assert summarize([3.0, 1.0, 2.0]).median == 2.0
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.stddev == 0.0
+        assert stats.median == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50))
+    def test_bounds_invariants(self, values):
+        stats = summarize(values)
+        slack = 1e-6 * max(1.0, abs(stats.maximum), abs(stats.minimum))
+        assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert stats.stddev >= 0.0
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 4.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 0.5) == 5.0
+
+    def test_single(self):
+        assert percentile([42.0], 0.75) == 42.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestStatRegistry:
+    def test_series_created_once(self):
+        registry = StatRegistry()
+        assert registry.series("a") is registry.series("a")
+
+    def test_counter_created_once(self):
+        registry = StatRegistry()
+        registry.counter("c").increment()
+        assert int(registry.counter("c")) == 1
+
+    def test_listings(self):
+        registry = StatRegistry()
+        registry.series("s1")
+        registry.counter("c1")
+        assert set(registry.all_series()) == {"s1"}
+        assert set(registry.all_counters()) == {"c1"}
+
+
+class TestRandomStreams:
+    def test_deterministic_per_seed(self):
+        from repro.sim.randomness import RandomStreams
+
+        a = RandomStreams(42).stream("demand").random()
+        b = RandomStreams(42).stream("demand").random()
+        assert a == b
+
+    def test_streams_independent(self):
+        from repro.sim.randomness import RandomStreams
+
+        streams = RandomStreams(42)
+        assert streams.stream("a").random() != streams.stream("b").random()
+
+    def test_same_stream_returned(self):
+        from repro.sim.randomness import RandomStreams
+
+        streams = RandomStreams(1)
+        assert streams.stream("x") is streams["x"]
+
+    def test_fork_differs(self):
+        from repro.sim.randomness import RandomStreams
+
+        streams = RandomStreams(42)
+        forked = streams.fork("child")
+        assert (
+            forked.stream("demand").random()
+            != RandomStreams(42).stream("demand").random()
+        )

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig2_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.tops == 10
+        assert not args.paper
+
+    def test_fig4_overrides(self):
+        args = build_parser().parse_args(
+            ["fig4", "--nodes", "200", "--trials", "2"]
+        )
+        assert args.nodes == 200
+        assert args.trials == 2
+
+
+class TestCommands:
+    def test_fig2_runs(self, capsys):
+        code = main(
+            ["fig2", "--tops", "2", "--children", "3",
+             "--days", "40", "--every", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert "steady G-RIB mean" in out
+
+    def test_fig4_runs(self, capsys):
+        code = main(["fig4", "--nodes", "120", "--trials", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hybrid" in out
+        assert "unidirectional" in out
+
+    def test_demo_runs(self, capsys):
+        code = main(["demo"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rooted at F" in out
+        assert "DeliveryReport" in out

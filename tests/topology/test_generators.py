@@ -1,0 +1,204 @@
+"""Tests for topology generators."""
+
+import random
+
+import pytest
+
+from repro.topology.domain import DomainKind
+from repro.topology.generators import (
+    as_graph,
+    heterogeneous_hierarchy,
+    kary_hierarchy,
+    linear_chain,
+    paper_figure1_topology,
+    paper_figure3_topology,
+    pick_random_domains,
+    transit_stub,
+)
+
+
+class TestLinearChain:
+    def test_size_and_connectivity(self):
+        topology = linear_chain(6)
+        assert len(topology) == 6
+        assert topology.is_connected()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            linear_chain(0)
+
+
+class TestKaryHierarchy:
+    def test_small_hierarchy_shape(self):
+        topology = kary_hierarchy(top_count=3, child_count=4)
+        assert len(topology) == 3 + 3 * 4
+        tops = topology.top_level_domains()
+        assert len(tops) == 3
+        for top in tops:
+            assert len(top.customers) == 4
+        assert topology.is_connected()
+
+    def test_children_single_provider(self):
+        topology = kary_hierarchy(top_count=2, child_count=3)
+        for domain in topology.domains:
+            if not domain.is_top_level:
+                assert len(domain.providers) == 1
+
+    def test_paper_scale(self):
+        topology = kary_hierarchy(top_count=50, child_count=50)
+        assert len(topology) == 2550
+        assert len(topology.top_level_domains()) == 50
+
+    def test_chain_top_level_option(self):
+        topology = kary_hierarchy(
+            top_count=4, child_count=0, mesh_top_level=False
+        )
+        assert topology.is_connected()
+        t0 = topology.domain("T0")
+        assert topology.degree(t0) == 1
+
+    def test_rejects_zero_tops(self):
+        with pytest.raises(ValueError):
+            kary_hierarchy(top_count=0)
+
+    def test_validates(self):
+        kary_hierarchy(top_count=3, child_count=2).validate()
+
+
+class TestHeterogeneousHierarchy:
+    def test_connected_and_layered(self):
+        topology = heterogeneous_hierarchy(random.Random(11), top_count=5)
+        assert topology.is_connected()
+        assert len(topology.top_level_domains()) == 5
+        kinds = {d.kind for d in topology.domains}
+        assert DomainKind.BACKBONE in kinds
+        assert DomainKind.REGIONAL in kinds
+
+    def test_deterministic_under_seed(self):
+        a = heterogeneous_hierarchy(random.Random(3), top_count=4)
+        b = heterogeneous_hierarchy(random.Random(3), top_count=4)
+        assert len(a) == len(b)
+        assert [d.name for d in a.domains] == [d.name for d in b.domains]
+
+
+class TestTransitStub:
+    def test_shape(self):
+        topology = transit_stub(
+            random.Random(5), transit_count=4, stubs_per_transit=6
+        )
+        assert topology.is_connected()
+        backbones = [
+            d for d in topology.domains if d.kind is DomainKind.BACKBONE
+        ]
+        assert len(backbones) == 4
+        stubs = [d for d in topology.domains if d.kind is DomainKind.STUB]
+        assert len(stubs) == 24
+
+    def test_stubs_have_providers(self):
+        topology = transit_stub(
+            random.Random(5), transit_count=3, stubs_per_transit=4
+        )
+        for domain in topology.domains:
+            if domain.kind is DomainKind.STUB:
+                assert domain.providers
+
+
+class TestAsGraph:
+    def test_size_and_connectivity(self):
+        topology = as_graph(random.Random(1), node_count=300)
+        assert len(topology) == 300
+        assert topology.is_connected()
+
+    def test_sparse(self):
+        topology = as_graph(random.Random(1), node_count=500)
+        assert 2.0 < topology.average_degree() < 5.0
+
+    def test_degree_skew(self):
+        # Preferential attachment must produce a hub much better
+        # connected than the median domain.
+        topology = as_graph(random.Random(7), node_count=600)
+        degrees = sorted(topology.degree(d) for d in topology.domains)
+        assert degrees[-1] >= 20
+        assert degrees[len(degrees) // 2] <= 3
+
+    def test_short_paths(self):
+        topology = as_graph(random.Random(3), node_count=800)
+        rng = random.Random(4)
+        pairs = [tuple(rng.sample(topology.domains, 2)) for _ in range(50)]
+        mean = sum(topology.distance(a, b) for a, b in pairs) / len(pairs)
+        assert mean < 8.0
+
+    def test_classification_present(self):
+        topology = as_graph(random.Random(1), node_count=400)
+        kinds = {d.kind for d in topology.domains}
+        assert DomainKind.BACKBONE in kinds
+        assert DomainKind.STUB in kinds
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            as_graph(random.Random(1), node_count=2)
+
+    def test_deterministic_under_seed(self):
+        a = as_graph(random.Random(9), node_count=200)
+        b = as_graph(random.Random(9), node_count=200)
+        assert {
+            (x.domain.name, y.domain.name) for x, y in a.links
+        } == {(x.domain.name, y.domain.name) for x, y in b.links}
+
+
+class TestPaperTopologies:
+    def test_figure1_structure(self):
+        topology = paper_figure1_topology()
+        a = topology.domain("A")
+        assert {r.name for r in a.routers.values()} == {
+            "A1", "A2", "A3", "A4"
+        }
+        assert topology.domain("B") in a.customers
+        assert topology.domain("C") in a.customers
+        assert topology.domain("F") in topology.domain("B").customers
+        assert topology.is_connected()
+        topology.validate()
+
+    def test_figure1_paths(self):
+        topology = paper_figure1_topology()
+        f = topology.domain("F")
+        g = topology.domain("G")
+        # F reaches G via B, A, C.
+        path = topology.shortest_path(f, g)
+        assert [d.name for d in path] == ["F", "B", "A", "C", "G"]
+
+    def test_figure3_multihomed_f(self):
+        topology = paper_figure3_topology()
+        f = topology.domain("F")
+        d = topology.domain("D")
+        # The encapsulation example: shortest path from F to D runs
+        # through the F2-A4 link, not via B.
+        path = topology.shortest_path(f, d)
+        assert [x.name for x in path] == ["F", "A", "D"]
+        assert "F2" in {r.name for r in f.routers.values()}
+
+    def test_figure3_footnote10_path(self):
+        topology = paper_figure3_topology()
+        h = topology.domain("H")
+        d = topology.domain("D")
+        # H-G-B-A-D must exist as a path of length 4 via G.
+        assert topology.distance(h, d) <= 4
+        topology.validate()
+
+    def test_figure3_h_multihomed(self):
+        topology = paper_figure3_topology()
+        h = topology.domain("H")
+        assert topology.domain("G") in h.providers
+        assert topology.domain("C") in h.providers
+
+
+class TestPickRandomDomains:
+    def test_samples_distinct(self):
+        topology = linear_chain(10)
+        sample = pick_random_domains(topology, random.Random(0), 5)
+        assert len(set(sample)) == 5
+
+    def test_rejects_oversample(self):
+        topology = linear_chain(3)
+        with pytest.raises(ValueError):
+            pick_random_domains(topology, random.Random(0), 4)

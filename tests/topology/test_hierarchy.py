@@ -1,0 +1,161 @@
+"""Tests for the MASC hierarchy."""
+
+import pytest
+
+from repro.topology.domain import Domain
+from repro.topology.generators import (
+    kary_hierarchy,
+    paper_figure1_topology,
+)
+from repro.topology.hierarchy import MascHierarchy, build_masc_hierarchy
+from repro.topology.network import Topology
+
+
+def small_hierarchy():
+    top = Domain(0, name="top")
+    left = Domain(1, name="left")
+    right = Domain(2, name="right")
+    leaf = Domain(3, name="leaf")
+    hierarchy = MascHierarchy()
+    hierarchy.add(top)
+    hierarchy.add(left, top)
+    hierarchy.add(right, top)
+    hierarchy.add(leaf, left)
+    return hierarchy, (top, left, right, leaf)
+
+
+class TestMascHierarchy:
+    def test_parent_child(self):
+        hierarchy, (top, left, right, leaf) = small_hierarchy()
+        assert hierarchy.parent(top) is None
+        assert hierarchy.parent(left) is top
+        assert hierarchy.children(top) == [left, right]
+        assert hierarchy.children(leaf) == []
+
+    def test_siblings_of_child(self):
+        hierarchy, (top, left, right, leaf) = small_hierarchy()
+        assert hierarchy.siblings(left) == [right]
+        assert hierarchy.siblings(leaf) == []
+
+    def test_top_level_are_mutual_siblings(self):
+        a, b, c = Domain(0, name="a"), Domain(1, name="b"), Domain(2, name="c")
+        hierarchy = MascHierarchy()
+        for domain in (a, b, c):
+            hierarchy.add(domain)
+        assert hierarchy.siblings(a) == [b, c]
+        assert hierarchy.top_level() == [a, b, c]
+
+    def test_depth(self):
+        hierarchy, (top, left, right, leaf) = small_hierarchy()
+        assert hierarchy.depth(top) == 0
+        assert hierarchy.depth(left) == 1
+        assert hierarchy.depth(leaf) == 2
+
+    def test_descendants(self):
+        hierarchy, (top, left, right, leaf) = small_hierarchy()
+        assert hierarchy.descendants(top) == [left, leaf, right]
+        assert hierarchy.descendants(left) == [leaf]
+
+    def test_duplicate_add_rejected(self):
+        hierarchy, (top, left, _, _) = small_hierarchy()
+        with pytest.raises(ValueError):
+            hierarchy.add(left, top)
+
+    def test_unknown_parent_rejected(self):
+        hierarchy = MascHierarchy()
+        with pytest.raises(ValueError):
+            hierarchy.add(Domain(0), Domain(1))
+
+    def test_cycle_rejected(self):
+        hierarchy, (top, left, right, leaf) = small_hierarchy()
+        with pytest.raises(ValueError):
+            hierarchy.reparent(top, leaf)
+        # Failed reparent must leave the hierarchy intact.
+        assert hierarchy.parent(top) is None
+        assert hierarchy.children(top) == [left, right]
+
+    def test_reparent(self):
+        hierarchy, (top, left, right, leaf) = small_hierarchy()
+        hierarchy.reparent(leaf, right)
+        assert hierarchy.parent(leaf) is right
+        assert hierarchy.children(left) == []
+        assert hierarchy.children(right) == [leaf]
+
+    def test_reparent_keeps_children(self):
+        hierarchy, (top, left, right, leaf) = small_hierarchy()
+        hierarchy.reparent(left, right)
+        assert hierarchy.children(left) == [leaf]
+        assert hierarchy.depth(leaf) == 3
+
+    def test_reparent_unknown_rejected(self):
+        hierarchy, _ = small_hierarchy()
+        with pytest.raises(ValueError):
+            hierarchy.reparent(Domain(99), None)
+
+    def test_len_and_contains(self):
+        hierarchy, (top, left, right, leaf) = small_hierarchy()
+        assert len(hierarchy) == 4
+        assert top in hierarchy
+        assert Domain(99) not in hierarchy
+
+
+class TestBuildMascHierarchy:
+    def test_from_kary(self):
+        topology = kary_hierarchy(top_count=3, child_count=2)
+        hierarchy = build_masc_hierarchy(topology)
+        assert len(hierarchy.top_level()) == 3
+        for domain in topology.domains:
+            if domain.is_top_level:
+                assert hierarchy.parent(domain) is None
+            else:
+                assert hierarchy.parent(domain) in domain.providers
+
+    def test_from_paper_figure1(self):
+        topology = paper_figure1_topology()
+        hierarchy = build_masc_hierarchy(topology)
+        a = topology.domain("A")
+        assert hierarchy.parent(topology.domain("B")) is a
+        assert hierarchy.parent(topology.domain("F")) is topology.domain("B")
+        assert set(hierarchy.top_level()) == {
+            a, topology.domain("D"), topology.domain("E")
+        }
+
+    def test_multihomed_first_choice(self):
+        topology = Topology()
+        p1 = topology.add_domain(name="P1")
+        p2 = topology.add_domain(name="P2")
+        c = topology.add_domain(name="C")
+        topology.connect_domains(p1, p2)
+        topology.provider_link(p1, c)
+        topology.provider_link(p2, c)
+        hierarchy = build_masc_hierarchy(topology, parent_choice="first")
+        assert hierarchy.parent(c) is p1
+
+    def test_multihomed_degree_choice(self):
+        topology = Topology()
+        p1 = topology.add_domain(name="P1")
+        p2 = topology.add_domain(name="P2")
+        extra = topology.add_domain(name="E")
+        c = topology.add_domain(name="C")
+        topology.connect_domains(p1, p2)
+        topology.connect_domains(p2, extra)
+        topology.provider_link(p1, c)
+        topology.provider_link(p2, c)
+        hierarchy = build_masc_hierarchy(topology, parent_choice="degree")
+        assert hierarchy.parent(c) is p2
+
+    def test_provider_cycle_broken(self):
+        topology = Topology()
+        a = topology.add_domain(name="A")
+        b = topology.add_domain(name="B")
+        topology.provider_link(a, b)
+        topology.provider_link(b, a)
+        hierarchy = build_masc_hierarchy(topology)
+        # One becomes top-level, the other its child — no crash, no cycle.
+        tops = hierarchy.top_level()
+        assert len(tops) >= 1
+        assert len(hierarchy) == 2
+
+    def test_unknown_choice_rejected(self):
+        with pytest.raises(ValueError):
+            build_masc_hierarchy(Topology(), parent_choice="bogus")

@@ -1,0 +1,168 @@
+"""Tests for the Topology container and its graph queries."""
+
+import pytest
+
+from repro.topology.domain import DomainKind
+from repro.topology.generators import linear_chain
+from repro.topology.network import Topology
+
+
+def square_topology():
+    """Four domains in a cycle: W - X - Y - Z - W."""
+    topology = Topology()
+    w = topology.add_domain(name="W")
+    x = topology.add_domain(name="X")
+    y = topology.add_domain(name="Y")
+    z = topology.add_domain(name="Z")
+    topology.connect_domains(w, x)
+    topology.connect_domains(x, y)
+    topology.connect_domains(y, z)
+    topology.connect_domains(z, w)
+    return topology, (w, x, y, z)
+
+
+class TestConstruction:
+    def test_add_domain_assigns_ids(self):
+        topology = Topology()
+        a = topology.add_domain(name="A")
+        b = topology.add_domain(name="B")
+        assert a.domain_id == 0 and b.domain_id == 1
+        assert len(topology) == 2
+
+    def test_duplicate_name_rejected(self):
+        topology = Topology()
+        topology.add_domain(name="A")
+        with pytest.raises(ValueError):
+            topology.add_domain(name="A")
+
+    def test_duplicate_id_rejected(self):
+        topology = Topology()
+        topology.add_domain(name="A", domain_id=5)
+        with pytest.raises(ValueError):
+            topology.add_domain(name="B", domain_id=5)
+
+    def test_lookup_by_name_and_id(self):
+        topology = Topology()
+        a = topology.add_domain(name="A")
+        assert topology.domain("A") is a
+        assert topology.domain(0) is a
+        assert a in topology
+
+    def test_connect_domains_creates_routers(self):
+        topology = Topology()
+        a = topology.add_domain(name="A")
+        b = topology.add_domain(name="B")
+        ra, rb = topology.connect_domains(a, b)
+        assert ra.domain is a and rb.domain is b
+        assert rb in ra.external_neighbors
+        assert topology.neighbors(a) == [b]
+
+    def test_provider_link_records_relationship(self):
+        topology = Topology()
+        p = topology.add_domain(name="P")
+        c = topology.add_domain(name="C")
+        topology.provider_link(p, c)
+        assert c in p.customers
+        assert topology.neighbors(p) == [c]
+
+    def test_named_router_connect(self):
+        topology = Topology()
+        a = topology.add_domain(name="A")
+        b = topology.add_domain(name="B")
+        ra, rb = topology.connect_domains(a, b, "A3", "B1")
+        assert ra.name == "A3" and rb.name == "B1"
+
+    def test_validate_passes_on_good_topology(self):
+        topology, _ = square_topology()
+        topology.validate()
+
+
+class TestGraphQueries:
+    def test_distance_chain(self):
+        topology = linear_chain(5)
+        first = topology.domain("N0")
+        last = topology.domain("N4")
+        assert topology.distance(first, last) == 4
+        assert topology.distance(first, first) == 0
+
+    def test_distance_symmetric(self):
+        topology, (w, x, y, z) = square_topology()
+        assert topology.distance(w, y) == topology.distance(y, w) == 2
+
+    def test_shortest_path_endpoints(self):
+        topology = linear_chain(4)
+        path = topology.shortest_path(
+            topology.domain("N0"), topology.domain("N3")
+        )
+        assert [d.name for d in path] == ["N0", "N1", "N2", "N3"]
+
+    def test_shortest_path_single_node(self):
+        topology = linear_chain(1)
+        only = topology.domain("N0")
+        assert topology.shortest_path(only, only) == [only]
+
+    def test_shortest_path_deterministic_tiebreak(self):
+        topology, (w, x, y, z) = square_topology()
+        # Two equal-cost paths W-X-Y and W-Z-Y; BFS prefers lower id (X).
+        path = topology.shortest_path(w, y)
+        assert [d.name for d in path] == ["W", "X", "Y"]
+
+    def test_disconnected_raises(self):
+        topology = Topology()
+        a = topology.add_domain(name="A")
+        b = topology.add_domain(name="B")
+        with pytest.raises(ValueError):
+            topology.distance(a, b)
+        with pytest.raises(ValueError):
+            topology.shortest_path(a, b)
+
+    def test_shortest_path_tree_parents(self):
+        topology = linear_chain(4)
+        root = topology.domain("N0")
+        tree = topology.shortest_path_tree(root)
+        assert tree[root] is root
+        assert tree[topology.domain("N2")] is topology.domain("N1")
+
+    def test_is_connected(self):
+        topology = linear_chain(3)
+        assert topology.is_connected()
+        topology.add_domain(name="island")
+        assert not topology.is_connected()
+
+    def test_empty_topology_connected(self):
+        assert Topology().is_connected()
+
+    def test_eccentricity(self):
+        topology = linear_chain(5)
+        assert topology.eccentricity(topology.domain("N0")) == 4
+        assert topology.eccentricity(topology.domain("N2")) == 2
+
+    def test_average_degree(self):
+        topology, _ = square_topology()
+        assert topology.average_degree() == 2.0
+
+    def test_degree(self):
+        topology = linear_chain(3)
+        assert topology.degree(topology.domain("N1")) == 2
+
+    def test_cache_invalidated_on_new_link(self):
+        topology = Topology()
+        a = topology.add_domain(name="A")
+        b = topology.add_domain(name="B")
+        c = topology.add_domain(name="C")
+        topology.connect_domains(a, b)
+        topology.connect_domains(b, c)
+        assert topology.distance(a, c) == 2
+        topology.connect_domains(a, c)
+        assert topology.distance(a, c) == 1
+
+    def test_top_level_domains(self):
+        topology = Topology()
+        p = topology.add_domain(name="P", kind=DomainKind.BACKBONE)
+        c = topology.add_domain(name="C")
+        topology.provider_link(p, c)
+        assert topology.top_level_domains() == [p]
+
+    def test_routers_listing(self):
+        topology, _ = square_topology()
+        assert len(topology.routers()) == 8  # two per domain (one per link)
