@@ -1,0 +1,109 @@
+"""Recovery dynamics after a single inter-domain failure.
+
+The canonical fault of section 5.2: a multihomed member domain loses
+its active branch (the F2-A4 session in the Figure 3 internetwork)
+and service must re-anchor through the backup provider path (F1-B2).
+This bench drives the failure, the repair pass, and the eventual
+link recovery on the simulator clock while a probe stream measures
+the blackout, then reports time-to-reconverge, probes lost, and the
+drop/duplicate counts across the whole episode.
+"""
+
+from conftest import emit
+
+from repro.addressing.prefix import Prefix
+from repro.analysis.reconvergence import ReconvergenceProbe
+from repro.analysis.report import format_table
+from repro.bgmp.network import BgmpNetwork
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, RouterCrash
+from repro.sim.engine import Simulator
+from repro.topology.generators import paper_figure3_topology
+
+GROUP = 0xE0008001  # 224.0.128.1
+FAULT_AT = 2.0
+REPAIR_AFTER = 4.0
+RECOVERY_DELAY = 1.0
+PROBE_INTERVAL = 0.25
+HORIZON = 10.0
+
+
+def build_network():
+    topology = paper_figure3_topology()
+    network = BgmpNetwork(topology)
+    network.originate_group_range(
+        topology.domain("A"), Prefix.parse("224.0.0.0/16")
+    )
+    network.converge()
+    assert network.join(topology.domain("F").host("m"), GROUP)
+    return topology, network
+
+
+def run_episode(plan_for):
+    topology, network = build_network()
+    sim = Simulator()
+    injector = FaultInjector(
+        sim, bgmp=network, recovery_delay=RECOVERY_DELAY
+    )
+    injector.schedule(plan_for())
+    probe = ReconvergenceProbe(
+        sim, network, GROUP,
+        source=topology.domain("E").host("s"),
+        member_domains=[topology.domain("F")],
+        interval=PROBE_INTERVAL,
+    )
+    probe.start(until=HORIZON)
+    sim.run(until=HORIZON)
+    return probe.report(FAULT_AT, injector.recoveries)
+
+
+def run_all():
+    scenarios = (
+        (
+            "link F2-A4 flap",
+            lambda: FaultPlan().fail_link(
+                "F2", "A4", at=FAULT_AT, repair_after=REPAIR_AFTER
+            ),
+        ),
+        (
+            "crash F2",
+            lambda: FaultPlan().crash_router(
+                "F2", at=FAULT_AT, restart_after=REPAIR_AFTER
+            ),
+        ),
+    )
+    return [
+        (name, run_episode(plan_for)) for name, plan_for in scenarios
+    ]
+
+
+def test_bench_reconvergence(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            f"{report.time_to_reconverge:.2f}",
+            f"{report.probes_lost}/{report.probes_sent}",
+            report.drops,
+            report.duplicates,
+            report.convergence_rounds,
+        )
+        for name, report in results
+    ]
+    emit(
+        "Reconvergence after a single failure (Figure 3, member F)",
+        format_table(
+            ("scenario", "ttr", "lost", "drops", "dup", "rounds"),
+            rows,
+        ),
+    )
+    for name, report in results:
+        # Service comes back, and quickly: the blackout is bounded by
+        # the repair-pass delay plus one probe interval.
+        assert report.converged, name
+        assert report.recovered_time is not None, name
+        assert report.time_to_reconverge <= (
+            REPAIR_AFTER + RECOVERY_DELAY + 2 * PROBE_INTERVAL
+        ), name
+        # Bidirectional trees never duplicate during repair.
+        assert report.duplicates == 0, name

@@ -25,6 +25,12 @@ from repro.analysis.related import (
     hdvmrp_cost,
     hpim_lengths,
 )
+from repro.analysis.reconvergence import (
+    ProbeSample,
+    ReconvergenceProbe,
+    ReconvergenceReport,
+    build_report,
+)
 from repro.analysis.render import (
     render_bgmp_tree,
     render_domain_tree,
@@ -35,6 +41,10 @@ from repro.analysis.trees import root_transit_fraction
 __all__ = [
     "BroadcastCost",
     "HpimTree",
+    "ProbeSample",
+    "ReconvergenceProbe",
+    "ReconvergenceReport",
+    "build_report",
     "bgmp_cost",
     "hdvmrp_cost",
     "hpim_lengths",

@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.addressing.prefix import Prefix
 from repro.bgmp.router import BgmpRouter
-from repro.bgmp.targets import MigpTarget
+from repro.bgmp.targets import MigpTarget, PeerTarget
 from repro.bgp.network import BgpNetwork
 from repro.bgp.routes import Route, RouteType
 from repro.migp import make_migp
@@ -198,6 +198,139 @@ class BgmpNetwork:
     def router_of(self, router: BorderRouter) -> BgmpRouter:
         """The BGMP component of a border router."""
         return self._routers[router]
+
+    def router_up(self, router: BorderRouter) -> bool:
+        """Liveness per the BGP substrate's fault state."""
+        return self.bgp.router_up(router)
+
+    def session_up(self, a: BorderRouter, b: BorderRouter) -> bool:
+        """True when both routers are up and the session between them
+        has not been administratively failed. BGMP peerings run over
+        the BGP sessions (section 5.1), so a downed session carries
+        neither joins nor data."""
+        return self.bgp.session_up(a, b)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+
+    def handle_router_crash(self, router: BorderRouter) -> None:
+        """A border router dies: its BGP routes are withdrawn, its BGMP
+        state is wiped, and every live router holding it as a child
+        target tears that branch down (section 5.2 teardown toward a
+        dead next hop). Callers reconverge BGP and then run
+        :meth:`repair_trees` to restore service.
+        """
+        self.bgp.fail_router(router)
+        dead = self.router_of(router)
+        migp = self.migp_of(router.domain)
+        for entry in list(dead.table.entries()):
+            dead.table.remove(entry.group, entry.source_domain)
+            migp.detach(router, entry.group)
+        dead_child = PeerTarget(router)
+        for live in self._live_routers():
+            for entry in list(live.table.entries()):
+                if dead_child not in entry.children:
+                    continue
+                if entry.is_source_specific:
+                    entry.remove_child(dead_child)
+                else:
+                    live.prune(entry.group, dead_child)
+
+    def handle_router_restart(self, router: BorderRouter) -> None:
+        """A crashed router comes back: BGP restores its sessions; tree
+        state rebuilds through reconvergence and :meth:`repair_trees`
+        (BGMP state is soft — nothing to replay)."""
+        self.bgp.restore_router(router)
+
+    def _live_routers(self) -> List[BgmpRouter]:
+        return [
+            bgmp
+            for bgmp in self._routers.values()
+            if self.router_up(bgmp.router)
+        ]
+
+    def repair_trees(self) -> Dict[str, int]:
+        """Post-fault recovery pass (run after the BGP substrate has
+        reconverged): re-anchor surviving (\\*,G) entries onto the new
+        best G-RIB routes, re-join every member domain whose tree
+        state was lost with the fault, and tear down interior branches
+        left redundant by a migration (a domain whose members moved
+        back to a recovered exit must not keep delivering through the
+        detour too). Returns repair counters."""
+        migrations = self.refresh_trees()
+        rejoined = 0
+        groups: Set[int] = set()
+        for domain in self.topology.domains:
+            migp = self.migp_of(domain)
+            for group in migp.member_groups():
+                groups.add(group)
+                if self._domain_on_tree(domain, group):
+                    continue
+                host = next(iter(migp.members_of(group)))
+                if self.join(host, group):
+                    rejoined += 1
+        pruned = 0
+        for group in sorted(groups):
+            pruned += self._prune_redundant_branches(group)
+        return {
+            "migrations": migrations,
+            "rejoined": rejoined,
+            "pruned": pruned,
+        }
+
+    def _prune_redundant_branches(self, group: int) -> int:
+        """Remove interior-only branches at routers that are neither
+        the domain's best exit for the group nor interior transit —
+        leftovers of a tree migration that would otherwise deliver
+        (and loop) duplicate copies."""
+        pruned = 0
+        for domain in self.topology.domains:
+            migp = self.migp_of(domain)
+            if not migp.has_members(group):
+                continue
+            best_exit = self.best_exit_router(domain, group)
+            if best_exit is None:
+                continue
+            route = self.bgp.speaker(best_exit).next_hop_for_group(group)
+            if route is not None and route.is_local_origin:
+                # Root domain: every attached router legitimately
+                # serves the interior.
+                continue
+            interior = MigpTarget(domain)
+            for router in sorted(
+                domain.routers.values(), key=lambda r: r.name
+            ):
+                if router == best_exit or not self.router_up(router):
+                    continue
+                bgmp = self.router_of(router)
+                entry = bgmp.table.get(group)
+                if entry is None or interior not in entry.children:
+                    continue
+                if set(entry.children) != {interior}:
+                    # Still fans out to external children: not ours
+                    # to tear down.
+                    continue
+                if self.interior_transit_needed(domain, group, router):
+                    continue
+                bgmp.retract_interior(group)
+                pruned += 1
+        return pruned
+
+    def _domain_on_tree(self, domain: Domain, group: int) -> bool:
+        """True when the domain's membership is already served: some
+        live border router holds (\\*,G) state, or the domain is the
+        group's root domain (membership is an interior matter there)."""
+        best_exit = self.best_exit_router(domain, group)
+        if best_exit is not None:
+            route = self.bgp.speaker(best_exit).next_hop_for_group(group)
+            if route is not None and route.is_local_origin:
+                return True
+        for router in domain.routers.values():
+            if not self.router_up(router):
+                continue
+            if self.router_of(router).table.get(group) is not None:
+                return True
+        return False
 
     def migp_of(self, domain: Domain) -> MigpComponent:
         """The MIGP component of a domain."""

@@ -101,6 +101,12 @@ class BgmpRouter:
     def _propagate_join(self, group: int, entry: ForwardingEntry) -> None:
         parent = entry.parent
         if isinstance(parent, PeerTarget):
+            if not self.network.session_up(self.router, parent.router):
+                # The G-RIB still points across a dead peer or session
+                # (the substrate has not reconverged yet): hold the
+                # entry parentless; the next repair pass re-anchors it.
+                entry.upstream = None
+                return
             self.joins_sent += 1
             entry.upstream = parent.router
             self.network.router_of(parent.router).join(
@@ -115,6 +121,10 @@ class BgmpRouter:
             entry.upstream = None
             return
         exit_router = route.next_hop
+        if not self.network.router_up(exit_router):
+            self.migp.forward_join_cost()
+            entry.upstream = None
+            return
         self.migp.forward_join_cost()
         self.joins_sent += 1
         entry.upstream = exit_router
@@ -142,6 +152,23 @@ class BgmpRouter:
             ):
                 return
         entry.remove_child(child)
+        self._teardown_if_childless(group, entry)
+
+    def retract_interior(self, group: int) -> None:
+        """Drop the interior child target even though local members
+        remain — they are served through another exit router now. The
+        repair pass uses this to clear branches a tree migration left
+        behind (the member-refusal in :meth:`prune` is what keeps
+        them alive)."""
+        entry = self.table.get(group)
+        if entry is None:
+            return
+        entry.remove_child(MigpTarget(self.domain))
+        self._teardown_if_childless(group, entry)
+
+    def _teardown_if_childless(
+        self, group: int, entry: ForwardingEntry
+    ) -> None:
         if entry.children:
             return
         parent = entry.parent
@@ -163,11 +190,18 @@ class BgmpRouter:
         """Withdraw this router from the upstream it joined through."""
         if upstream is None:
             return
-        self.prunes_sent += 1
         if isinstance(parent, PeerTarget):
+            if not self.network.session_up(self.router, upstream):
+                # Nothing to tell across a dead session — the far
+                # side's state is wiped by the crash handler or aged
+                # out by the repair pass.
+                return
             child: Target = PeerTarget(self.router)
         else:
+            if not self.network.router_up(upstream):
+                return
             child = MigpTarget(self.domain)
+        self.prunes_sent += 1
         self.network.router_of(upstream).prune(group, child)
 
     def update_parent(self, group: int) -> bool:
@@ -248,10 +282,14 @@ class BgmpRouter:
         if route.is_local_origin:
             return False
         if route.from_internal or route.next_hop.domain == self.domain:
+            if not self.network.router_up(route.next_hop):
+                return False
             parent: Target = MigpTarget(self.domain)
             upstream = self.network.router_of(route.next_hop)
             upstream_child: Target = MigpTarget(self.domain)
         else:
+            if not self.network.session_up(self.router, route.next_hop):
+                return False
             parent = PeerTarget(route.next_hop)
             upstream = self.network.router_of(route.next_hop)
             upstream_child = PeerTarget(self.router)
@@ -320,6 +358,12 @@ class BgmpRouter:
         report: "DeliveryReport",
     ) -> None:
         if isinstance(target, PeerTarget):
+            if not self.network.session_up(self.router, target.router):
+                # Dead next hop or session mid-reconvergence: the
+                # packet copy is lost, not an exception (graceful
+                # degradation).
+                report.dropped += 1
+                return
             report.external_hops += 1
             self.network.router_of(target.router).receive(
                 group,
@@ -380,6 +424,9 @@ class BgmpRouter:
             self._inject(group, source_domain, report)
             return
         if route.from_internal or route.next_hop.domain == self.domain:
+            if not self.network.router_up(route.next_hop):
+                report.dropped += 1
+                return
             # Cross our own domain towards the best exit router; if
             # the domain has on-tree routers the MIGP hands them the
             # packet along the way.
@@ -392,6 +439,9 @@ class BgmpRouter:
             self.network.router_of(route.next_hop).receive(
                 group, source_domain, MigpTarget(self.domain), report
             )
+            return
+        if not self.network.session_up(self.router, route.next_hop):
+            report.dropped += 1
             return
         report.external_hops += 1
         self.network.router_of(route.next_hop).receive(

@@ -10,7 +10,8 @@ border.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.addressing.prefix import Prefix
 from repro.bgp.policy import (
@@ -27,6 +28,25 @@ from repro.topology.network import Topology
 class ConvergenceError(Exception):
     """Raised when BGP fails to stabilise within the round budget."""
 
+    def __init__(self, message: str, rounds: int = 0):
+        super().__init__(message)
+        #: Rounds spent before giving up.
+        self.rounds = rounds
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Outcome of a propagation run: did the Loc-RIBs reach a fixed
+    point, and in how many rounds? ``converged=False`` means the run
+    gave up at the round budget, *not* that it stopped at a fixed
+    point — callers must treat the RIBs as possibly inconsistent."""
+
+    converged: bool
+    rounds: int
+
+    def __bool__(self) -> bool:
+        return self.converged
+
 
 class BgpNetwork:
     """All BGP speakers of a topology plus the propagation engine."""
@@ -41,6 +61,10 @@ class BgpNetwork:
         self.policy = policy if policy is not None else GaoRexfordPolicy()
         self.aggregate = aggregate
         self.speakers: Dict[BorderRouter, BgpSpeaker] = {}
+        #: Administratively/faulted-down sessions (router pairs) and
+        #: crashed routers — maintained by the fault layer.
+        self._down_sessions: Set[frozenset] = set()
+        self._down_routers: Set[BorderRouter] = set()
         for router in topology.routers():
             self.speakers[router] = BgpSpeaker(router)
 
@@ -100,17 +124,98 @@ class BgpNetwork:
         return sorted(set(found))
 
     # ------------------------------------------------------------------
+    # Session and router liveness (the fault layer's hooks)
+
+    def router_up(self, router: BorderRouter) -> bool:
+        """True unless the router has been crashed by the fault layer."""
+        return router not in self._down_routers
+
+    def session_up(self, a: BorderRouter, b: BorderRouter) -> bool:
+        """True when the a-b session can carry updates: both endpoints
+        up and the session itself not administratively down."""
+        return (
+            self.router_up(a)
+            and self.router_up(b)
+            and frozenset((a, b)) not in self._down_sessions
+        )
+
+    def set_session_state(
+        self, a: BorderRouter, b: BorderRouter, up: bool
+    ) -> None:
+        """Bring a session down or back up.
+
+        Going down immediately withdraws everything either side learned
+        from the other (BGP's session-loss semantics); coming back up
+        re-advertises on the next :meth:`converge` — full advertisement
+        sets flow every round, so no explicit replay is needed.
+        """
+        key = frozenset((a, b))
+        if up:
+            self._down_sessions.discard(key)
+            return
+        if key in self._down_sessions:
+            return
+        self._down_sessions.add(key)
+        self.speaker(a).drop_session(b)
+        self.speaker(b).drop_session(a)
+
+    def fail_router(self, router: BorderRouter) -> None:
+        """Crash a border router: every peer withdraws the routes it
+        learned from it, and the router's own volatile state is lost
+        (origins survive — they model configuration)."""
+        if router in self._down_routers:
+            return
+        self._down_routers.add(router)
+        for speaker in self.speakers.values():
+            if speaker.router != router:
+                speaker.drop_session(router)
+        self.speaker(router).reset()
+
+    def restore_router(self, router: BorderRouter) -> None:
+        """Restart a crashed router; the next :meth:`converge` rebuilds
+        its sessions and re-announces its origins."""
+        self._down_routers.discard(router)
+
+    def down_routers(self) -> List[BorderRouter]:
+        """Currently crashed routers (sorted for determinism)."""
+        return sorted(
+            self._down_routers, key=lambda r: (r.domain.domain_id, r.name)
+        )
+
+    # ------------------------------------------------------------------
     # Propagation
 
     def converge(self, max_rounds: int = 200) -> int:
         """Run synchronous update rounds to a fixed point.
 
-        Each round: every speaker recomputes its Loc-RIB, then every
-        directed session carries the exporter's full filtered
-        advertisement set (wholesale Adj-RIB-In replacement models
-        implicit withdrawal). Returns the number of rounds used.
+        Returns the number of rounds used; raises
+        :class:`ConvergenceError` when ``max_rounds`` rounds pass
+        without stabilising. Callers that must distinguish the two
+        outcomes without an exception use :meth:`try_converge`.
         """
-        ordered = [self.speakers[r] for r in self._ordered_routers()]
+        result = self.try_converge(max_rounds)
+        if not result.converged:
+            raise ConvergenceError(
+                f"BGP did not converge within {max_rounds} rounds",
+                rounds=result.rounds,
+            )
+        return result.rounds
+
+    def try_converge(self, max_rounds: int = 200) -> ConvergenceResult:
+        """Run synchronous update rounds, reporting rather than raising
+        on a budget overrun.
+
+        Each round: every live speaker recomputes its Loc-RIB, then
+        every up directed session carries the exporter's full filtered
+        advertisement set (wholesale Adj-RIB-In replacement models
+        implicit withdrawal). Crashed routers and down sessions carry
+        nothing — their routes were withdrawn when the fault hit.
+        """
+        ordered = [
+            self.speakers[r]
+            for r in self._ordered_routers()
+            if self.router_up(r)
+        ]
         for speaker in ordered:
             speaker.recompute()
         for round_index in range(1, max_rounds + 1):
@@ -131,10 +236,8 @@ class BgpNetwork:
                 if speaker.recompute():
                     changed = True
             if not changed:
-                return round_index
-        raise ConvergenceError(
-            f"BGP did not converge within {max_rounds} rounds"
-        )
+                return ConvergenceResult(True, round_index)
+        return ConvergenceResult(False, max_rounds)
 
     def _ordered_routers(self) -> List[BorderRouter]:
         ordered: List[BorderRouter] = []
@@ -156,6 +259,8 @@ class BgpNetwork:
         own_prefixes = self._own_prefixes_by_type(domain)
         best_routes = speaker.loc_rib.routes()
         for peer in speaker.router.external_neighbors:
+            if not self.session_up(speaker.router, peer):
+                continue
             relationship = domain.relationship_to(peer.domain)
             multicast_ok = self.topology.multicast_capable(
                 speaker.router, peer
@@ -184,6 +289,8 @@ class BgpNetwork:
                 )
             per_peer[peer] = advertised
         for internal in speaker.router.internal_peers():
+            if not self.session_up(speaker.router, internal):
+                continue
             advertised = [
                 route.advertised_by(speaker.router, internal=True)
                 for route in best_routes

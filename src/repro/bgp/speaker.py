@@ -47,6 +47,19 @@ class BgpSpeaker:
         """Routers this speaker has sessions with."""
         return list(self._adj_in)
 
+    def drop_session(self, peer: BorderRouter) -> bool:
+        """Tear down the session with ``peer``: every route learned
+        from it is withdrawn (the Adj-RIB-In vanishes). True when a
+        session existed."""
+        return self._adj_in.pop(peer, None) is not None
+
+    def reset(self) -> None:
+        """Crash recovery model: volatile state (Adj-RIB-Ins, Loc-RIB)
+        is lost; configuration (locally-originated routes) survives and
+        is re-announced on the next decision round."""
+        self._adj_in.clear()
+        self.loc_rib.clear()
+
     # ------------------------------------------------------------------
     # Origination
 

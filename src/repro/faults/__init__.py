@@ -1,0 +1,61 @@
+"""Deterministic fault injection for the MASC/BGMP stack.
+
+The paper's protocols are soft-state machines designed to ride out
+link failures, router crashes, and partitions. This package drives
+those failure modes on the :class:`~repro.sim.engine.Simulator`
+clock: :mod:`repro.faults.plan` declares *what* fails and when,
+:mod:`repro.faults.injector` applies the plan to the live MASC
+overlay / BGP substrate / BGMP tree layer, and
+:mod:`repro.faults.chaos` runs seeded randomized schedules and checks
+the post-recovery invariants (non-overlapping claims, loop-free
+trees, members reachable).
+"""
+
+from repro.faults.chaos import (
+    ChaosHarness,
+    ChaosResult,
+    ChaosScenario,
+    check_loop_free_trees,
+    check_members_reachable,
+    check_no_overlapping_claims,
+)
+from repro.faults.injector import FaultInjector, RecoveryRecord
+from repro.faults.plan import (
+    DelayJitter,
+    Fault,
+    FaultCandidate,
+    FaultPlan,
+    Heal,
+    LinkDown,
+    LinkUp,
+    MascCrash,
+    MascRestart,
+    MessageLoss,
+    Partition,
+    RouterCrash,
+    RouterRestart,
+)
+
+__all__ = [
+    "ChaosHarness",
+    "ChaosResult",
+    "ChaosScenario",
+    "DelayJitter",
+    "Fault",
+    "FaultCandidate",
+    "FaultInjector",
+    "FaultPlan",
+    "Heal",
+    "LinkDown",
+    "LinkUp",
+    "MascCrash",
+    "MascRestart",
+    "MessageLoss",
+    "Partition",
+    "RecoveryRecord",
+    "RouterCrash",
+    "RouterRestart",
+    "check_loop_free_trees",
+    "check_members_reachable",
+    "check_no_overlapping_claims",
+]

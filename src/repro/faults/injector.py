@@ -1,0 +1,237 @@
+"""Applies a :class:`~repro.faults.plan.FaultPlan` to live components.
+
+The injector resolves the plan's string targets against the wired
+components (a :class:`~repro.bgmp.network.BgmpNetwork` for the BGP /
+BGMP layers, a :class:`~repro.masc.node.MascOverlay` plus its nodes
+for the MASC layer) and schedules each fault on the simulator clock.
+
+Recovery is part of the injection contract: after every fault that
+perturbs the routing substrate, the injector schedules a recovery
+pass ``recovery_delay`` later — reconverge BGP (``try_converge``, so
+non-convergence is recorded rather than raised) and run the BGMP
+tree-repair pass. Each pass is logged with its counters, which is
+what the reconvergence analysis reads back out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.faults.plan import (
+    DelayJitter,
+    Fault,
+    FaultPlan,
+    Heal,
+    LinkDown,
+    LinkUp,
+    MascCrash,
+    MascRestart,
+    MessageLoss,
+    Partition,
+    RouterCrash,
+    RouterRestart,
+)
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One recovery pass: when it ran and what it achieved."""
+
+    time: float
+    converged: bool
+    rounds: int
+    migrations: int
+    rejoined: int
+
+
+class FaultInjector:
+    """Schedules faults (and their recovery passes) on the clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bgmp=None,
+        masc_overlay=None,
+        masc_nodes: Optional[Iterable] = None,
+        recovery_delay: float = 1.0,
+        auto_recover: bool = True,
+    ):
+        self.sim = sim
+        self.bgmp = bgmp
+        self.overlay = masc_overlay
+        self.recovery_delay = recovery_delay
+        self.auto_recover = auto_recover
+        self.log: List[Tuple[float, str]] = []
+        self.recoveries: List[RecoveryRecord] = []
+        self.faults_applied = 0
+        self._routers: Dict[str, object] = {}
+        if bgmp is not None:
+            for domain in bgmp.topology.domains:
+                for router in domain.routers.values():
+                    if router.name in self._routers:
+                        raise ValueError(
+                            f"ambiguous router name: {router.name}"
+                        )
+                    self._routers[router.name] = router
+        self._masc_nodes: Dict[str, object] = {}
+        for node in masc_nodes or ():
+            if node.name in self._masc_nodes:
+                raise ValueError(f"ambiguous MASC node: {node.name}")
+            self._masc_nodes[node.name] = node
+
+    # ------------------------------------------------------------------
+    # Scheduling
+
+    def schedule(self, plan: FaultPlan) -> int:
+        """Put every fault of the plan on the simulator clock; returns
+        the number of events scheduled (including recovery passes)."""
+        scheduled = 0
+        for fault in plan:
+            self.sim.schedule_at(fault.time, self.apply, fault)
+            scheduled += 1
+            if self.auto_recover and self._perturbs_routing(fault):
+                self.sim.schedule_at(
+                    fault.time + self.recovery_delay, self.recover
+                )
+                scheduled += 1
+        return scheduled
+
+    @staticmethod
+    def _perturbs_routing(fault: Fault) -> bool:
+        return isinstance(
+            fault, (LinkDown, LinkUp, RouterCrash, RouterRestart)
+        )
+
+    # ------------------------------------------------------------------
+    # Application
+
+    def apply(self, fault: Fault) -> None:
+        """Apply one fault right now (also used directly by tests)."""
+        if isinstance(fault, LinkDown):
+            self._set_link(fault.a, fault.b, up=False)
+        elif isinstance(fault, LinkUp):
+            self._set_link(fault.a, fault.b, up=True)
+        elif isinstance(fault, RouterCrash):
+            self._require_bgmp().handle_router_crash(
+                self._router(fault.router)
+            )
+        elif isinstance(fault, RouterRestart):
+            self._require_bgmp().handle_router_restart(
+                self._router(fault.router)
+            )
+        elif isinstance(fault, MascCrash):
+            self._masc_node(fault.node).crash()
+        elif isinstance(fault, MascRestart):
+            self._masc_node(fault.node).restart()
+        elif isinstance(fault, Partition):
+            self._partition(fault.side_a, fault.side_b, cut=True)
+        elif isinstance(fault, Heal):
+            self._partition(fault.side_a, fault.side_b, cut=False)
+        elif isinstance(fault, MessageLoss):
+            self._loss_window(fault)
+        elif isinstance(fault, DelayJitter):
+            self._jitter_window(fault)
+        else:
+            raise TypeError(f"unknown fault: {fault!r}")
+        self.faults_applied += 1
+        self.log.append((self.sim.now, fault.describe()))
+
+    def recover(self) -> RecoveryRecord:
+        """One recovery pass: reconverge BGP, repair BGMP trees."""
+        bgmp = self._require_bgmp()
+        result = bgmp.bgp.try_converge()
+        counters = (
+            bgmp.repair_trees()
+            if result.converged
+            else {"migrations": 0, "rejoined": 0}
+        )
+        record = RecoveryRecord(
+            time=self.sim.now,
+            converged=result.converged,
+            rounds=result.rounds,
+            migrations=counters["migrations"],
+            rejoined=counters["rejoined"],
+        )
+        self.recoveries.append(record)
+        self.log.append(
+            (
+                self.sim.now,
+                f"recover converged={record.converged} "
+                f"rounds={record.rounds} "
+                f"migrations={record.migrations} "
+                f"rejoined={record.rejoined}",
+            )
+        )
+        return record
+
+    # ------------------------------------------------------------------
+    # Target resolution and layer-specific application
+
+    def _require_bgmp(self):
+        if self.bgmp is None:
+            raise ValueError(
+                "fault targets the BGP/BGMP layer but no BgmpNetwork "
+                "is wired to the injector"
+            )
+        return self.bgmp
+
+    def _require_overlay(self):
+        if self.overlay is None:
+            raise ValueError(
+                "fault targets the MASC overlay but none is wired to "
+                "the injector"
+            )
+        return self.overlay
+
+    def _router(self, name: str):
+        try:
+            return self._routers[name]
+        except KeyError:
+            raise KeyError(f"unknown router: {name}") from None
+
+    def _masc_node(self, name: str):
+        try:
+            return self._masc_nodes[name]
+        except KeyError:
+            raise KeyError(f"unknown MASC node: {name}") from None
+
+    def _set_link(self, a: str, b: str, up: bool) -> None:
+        bgmp = self._require_bgmp()
+        bgmp.bgp.set_session_state(
+            self._router(a), self._router(b), up=up
+        )
+
+    def _partition(self, side_a, side_b, cut: bool) -> None:
+        overlay = self._require_overlay()
+        for name_a in side_a:
+            for name_b in side_b:
+                node_a = self._masc_node(name_a)
+                node_b = self._masc_node(name_b)
+                if cut:
+                    overlay.cut(node_a, node_b)
+                else:
+                    overlay.heal(node_a, node_b)
+
+    def _loss_window(self, fault: MessageLoss) -> None:
+        overlay = self._require_overlay()
+        previous = overlay.loss_rate
+        overlay.loss_rate = fault.rate
+
+        def restore() -> None:
+            overlay.loss_rate = previous
+            self.log.append((self.sim.now, "loss window over"))
+
+        self.sim.schedule_at(fault.until, restore)
+
+    def _jitter_window(self, fault: DelayJitter) -> None:
+        overlay = self._require_overlay()
+        previous = overlay.jitter
+        overlay.jitter = fault.jitter
+
+        def restore() -> None:
+            overlay.jitter = previous
+            self.log.append((self.sim.now, "jitter window over"))
+
+        self.sim.schedule_at(fault.until, restore)

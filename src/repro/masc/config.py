@@ -71,6 +71,35 @@ class MascConfig:
     #: Maximum re-claim attempts after collisions before giving up.
     max_claim_attempts: int = 8
 
+    #: Whether a node automatically renews finite-lifetime claims as
+    #: they approach expiry (section 4.3.1: an unrenewed range returns
+    #: to the reclaimable pool). Off by default: the allocation
+    #: experiments rely on unrenewed ranges lapsing on schedule.
+    auto_renew: bool = False
+
+    #: How long before expiry renewal starts (hours). The lead must
+    #: absorb the full backoff ladder of a lossy renewal exchange.
+    renew_lead: float = 12.0
+
+    #: Initial wait for a renewal ack before retrying (hours).
+    renew_ack_timeout: float = 1.0
+
+    #: Multiplier applied to the ack timeout on each renewal retry
+    #: (exponential backoff).
+    renew_backoff: float = 2.0
+
+    #: Renewal attempts before giving up and letting the claim lapse.
+    max_renew_attempts: int = 6
+
+    #: Liveness beacon interval (hours). None disables hellos, the
+    #: liveness timeout machinery, and periodic heard-claim GC —
+    #: the default, so failure handling is strictly opt-in.
+    hello_interval: "float | None" = None
+
+    #: Silence from the primary parent longer than this (hours) marks
+    #: it dead and fails over to the next configured parent.
+    liveness_timeout: float = 6.0
+
     #: Fair-use enforcement (section 7): when set, a parent answers a
     #: child claim larger than this fraction of the parent's own space
     #: with an explicit collision — "a possible enforcement mechanism
@@ -103,6 +132,18 @@ class MascConfig:
             raise ValueError("block size must be a positive power of two")
         if self.inter_request_min > self.inter_request_max:
             raise ValueError("inter-request bounds inverted")
+        if self.renew_lead <= 0:
+            raise ValueError("renew_lead must be positive")
+        if self.renew_ack_timeout <= 0:
+            raise ValueError("renew_ack_timeout must be positive")
+        if self.renew_backoff < 1.0:
+            raise ValueError("renew_backoff must be at least 1")
+        if self.max_renew_attempts < 1:
+            raise ValueError("max_renew_attempts must be at least 1")
+        if self.hello_interval is not None and self.hello_interval <= 0:
+            raise ValueError("hello_interval must be positive")
+        if self.liveness_timeout <= 0:
+            raise ValueError("liveness_timeout must be positive")
         if self.max_child_claim_fraction is not None and not (
             0.0 < self.max_child_claim_fraction <= 1.0
         ):

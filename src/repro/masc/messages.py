@@ -53,3 +53,37 @@ class ReleaseMessage:
 
     sender_id: int
     prefix: Prefix
+
+
+@dataclass(frozen=True)
+class RenewalMessage:
+    """Holder -> parent and siblings: extend a confirmed claim's
+    lifetime (the section 4.3.1 renewal that keeps an allocation out of
+    the reclaimable pool).
+
+    ``renew_serial`` distinguishes backoff retries of one renewal.
+    """
+
+    sender_id: int
+    prefix: Prefix
+    renew_serial: int
+    expires_at: float
+
+
+@dataclass(frozen=True)
+class RenewalAck:
+    """Parent -> holder: the renewal was recorded. Until an ack
+    arrives the holder keeps retrying with exponential backoff."""
+
+    sender_id: int
+    prefix: Prefix
+    renew_serial: int
+
+
+@dataclass(frozen=True)
+class HelloMessage:
+    """Liveness beacon between MASC neighbours (parents, children,
+    siblings). Silence past the liveness timeout marks the neighbour
+    dead and triggers parent failover."""
+
+    sender_id: int

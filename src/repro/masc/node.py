@@ -34,7 +34,10 @@ from repro.masc.config import MascConfig
 from repro.masc.messages import (
     ClaimMessage,
     CollisionMessage,
+    HelloMessage,
     ReleaseMessage,
+    RenewalAck,
+    RenewalMessage,
     SpaceAdvertisement,
 )
 from repro.sim.engine import Event, Simulator
@@ -69,12 +72,37 @@ class PendingClaim:
         self.expires_at = expires_at
 
 
+class PendingRenewal:
+    """One in-flight renewal exchange, retried with backoff until a
+    parent acks or the attempt budget runs out."""
+
+    __slots__ = ("prefix", "serial", "attempts", "timer", "expires_at")
+
+    def __init__(
+        self,
+        prefix: Prefix,
+        serial: int,
+        attempts: int,
+        timer: Event,
+        expires_at: float,
+    ):
+        self.prefix = prefix
+        self.serial = serial
+        self.attempts = attempts
+        self.timer = timer
+        self.expires_at = expires_at
+
+
 class MascOverlay:
     """Message transport between MASC nodes.
 
-    Supports per-delivery delay, administratively cut links (to model
-    the network partitions the waiting period guards against) and
-    random message loss (which periodic re-announcement rides out).
+    Supports per-delivery delay (plus optional uniform jitter),
+    administratively cut links (to model the network partitions the
+    waiting period guards against), random message loss (which periodic
+    re-announcement rides out), a deterministic ``drop_filter`` for
+    targeted fault injection, and crashed endpoints (a dead sender
+    emits nothing; a message in flight to a node that is dead on
+    arrival is lost).
     """
 
     def __init__(
@@ -83,14 +111,23 @@ class MascOverlay:
         delay: float = 0.1,
         loss_rate: float = 0.0,
         rng: Optional[random.Random] = None,
+        jitter: float = 0.0,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss rate out of range: {loss_rate}")
+        if jitter < 0.0:
+            raise ValueError(f"negative jitter: {jitter}")
         self.sim = sim
         self.delay = delay
         self.loss_rate = loss_rate
+        self.jitter = jitter
         self.rng = rng if rng is not None else random.Random(0)
         self.messages_dropped = 0
+        #: Deterministic loss hook: ``drop_filter(src, dst, message)``
+        #: returning True drops the message (fault-injection tests).
+        self.drop_filter: Optional[
+            Callable[["MascNode", "MascNode", object], bool]
+        ] = None
         self._cut: set = set()
 
     def cut(self, a: "MascNode", b: "MascNode") -> None:
@@ -102,14 +139,30 @@ class MascOverlay:
         self._cut.discard(frozenset((a.node_id, b.node_id)))
 
     def send(self, src: "MascNode", dst: "MascNode", message) -> None:
-        """Deliver a message after the overlay delay, unless cut or
-        randomly lost."""
+        """Deliver a message after the overlay delay, unless cut,
+        lost, or an endpoint is dead."""
+        if not src.alive:
+            return
         if frozenset((src.node_id, dst.node_id)) in self._cut:
+            return
+        if self.drop_filter is not None and self.drop_filter(
+            src, dst, message
+        ):
+            self.messages_dropped += 1
             return
         if self.loss_rate and self.rng.random() < self.loss_rate:
             self.messages_dropped += 1
             return
-        self.sim.schedule(self.delay, dst.handle, message, src)
+        delay = self.delay
+        if self.jitter:
+            delay += self.rng.uniform(0.0, self.jitter)
+        self.sim.schedule(delay, self._deliver, dst, message, src)
+
+    def _deliver(self, dst: "MascNode", message, src: "MascNode") -> None:
+        if not dst.alive:
+            self.messages_dropped += 1
+            return
+        dst.handle(message, src)
 
 
 class MascNode:
@@ -146,12 +199,28 @@ class MascNode:
         self._serial = 0
         self._on_confirmed = on_confirmed
         self._on_released = on_released
+        #: Failure-handling state.
+        self.alive = True
+        self._heard_expiry: Dict[Prefix, float] = {}
+        self._renewals: Dict[int, PendingRenewal] = {}
+        self._renew_timers: Dict[Prefix, Event] = {}
+        self._renew_serial = 0
+        self._last_heard: Dict[int, float] = {}
+        self._suspect_parents: set = set()
+        self._hello_timer: Optional[Event] = None
+        self._liveness_epoch: Optional[float] = None
         #: Counters for tests and reports.
         self.collisions_sent = 0
         self.collisions_received = 0
         self.claims_confirmed = 0
         self.claims_failed = 0
         self.oversize_collisions = 0
+        self.renewals_acked = 0
+        self.renewal_retries = 0
+        self.renewals_failed = 0
+        self.failovers = 0
+        self.crashes = 0
+        self.heard_claims_gced = 0
 
     # ------------------------------------------------------------------
     # Hierarchy wiring
@@ -335,6 +404,7 @@ class MascNode:
         self.claimed.add(prefix, pending.expires_at, holder=self.name)
         self.claims_confirmed += 1
         self.advertise_space()
+        self._schedule_renewal(prefix)
         if pending.on_confirmed is not None:
             pending.on_confirmed(prefix)
         if self._on_confirmed is not None:
@@ -352,6 +422,7 @@ class MascNode:
     def release(self, prefix: Prefix) -> None:
         """Give up a confirmed range."""
         self.claimed.remove(prefix)
+        self._cancel_renewal(prefix)
         message = ReleaseMessage(self.node_id, prefix)
         for parent in self.parents:
             self.overlay.send(self, parent, message)
@@ -367,6 +438,7 @@ class MascNode:
         now = self.overlay.sim.now
         expired = [l.prefix for l in self.claimed.expire(now)]
         for prefix in expired:
+            self._cancel_renewal(prefix)
             if self._on_released is not None:
                 self._on_released(prefix)
         if expired:
@@ -374,10 +446,237 @@ class MascNode:
         return expired
 
     # ------------------------------------------------------------------
+    # Renewal (section 4.3.1: unrenewed ranges lapse)
+
+    def _schedule_renewal(self, prefix: Prefix) -> None:
+        """Arm the auto-renew timer ``renew_lead`` before expiry."""
+        if not self.config.auto_renew:
+            return
+        lease = self.claimed.get(prefix)
+        if lease is None or lease.expires_at == float("inf"):
+            return
+        now = self.overlay.sim.now
+        delay = max(lease.expires_at - self.config.renew_lead - now, 0.0)
+        self._cancel_renewal(prefix)
+        self._renew_timers[prefix] = self.overlay.sim.schedule(
+            delay, self._begin_renewal, prefix,
+            name=f"{self.name}-renew",
+        )
+
+    def _cancel_renewal(self, prefix: Prefix) -> None:
+        timer = self._renew_timers.pop(prefix, None)
+        if timer is not None:
+            timer.cancel()
+        for serial, renewal in list(self._renewals.items()):
+            if renewal.prefix == prefix:
+                renewal.timer.cancel()
+                del self._renewals[serial]
+
+    def _begin_renewal(self, prefix: Prefix) -> None:
+        self._renew_timers.pop(prefix, None)
+        if not self.alive or self.claimed.get(prefix) is None:
+            return
+        new_expiry = self.overlay.sim.now + self.config.claim_lifetime
+        if not self.parents:
+            # Top level: no renewal authority above; extend locally and
+            # tell the siblings so their heard records stay fresh.
+            self.claimed.renew(prefix, new_expiry)
+            self.renewals_acked += 1
+            self._serial_renewal_to_siblings(prefix, new_expiry)
+            self._schedule_renewal(prefix)
+            return
+        self._renew_serial += 1
+        renewal = PendingRenewal(
+            prefix,
+            self._renew_serial,
+            attempts=1,
+            timer=self._arm_renewal_timeout(
+                self._renew_serial, self.config.renew_ack_timeout
+            ),
+            expires_at=new_expiry,
+        )
+        self._renewals[renewal.serial] = renewal
+        self._send_renewal(renewal)
+
+    def _serial_renewal_to_siblings(
+        self, prefix: Prefix, expires_at: float
+    ) -> None:
+        message = RenewalMessage(self.node_id, prefix, 0, expires_at)
+        for sibling in self.siblings:
+            self.overlay.send(self, sibling, message)
+
+    def _arm_renewal_timeout(self, serial: int, timeout: float) -> Event:
+        return self.overlay.sim.schedule(
+            timeout, self._renewal_timeout, serial,
+            name=f"{self.name}-renew-timeout",
+        )
+
+    def _send_renewal(self, renewal: PendingRenewal) -> None:
+        message = RenewalMessage(
+            self.node_id,
+            renewal.prefix,
+            renewal.serial,
+            renewal.expires_at,
+        )
+        for parent in self.parents:
+            self.overlay.send(self, parent, message)
+        for sibling in self.siblings:
+            self.overlay.send(self, sibling, message)
+
+    def _renewal_timeout(self, serial: int) -> None:
+        """No ack yet: retry with exponential backoff, or give up and
+        let the lease lapse at its current expiry."""
+        renewal = self._renewals.get(serial)
+        if renewal is None or not self.alive:
+            return
+        if renewal.attempts >= self.config.max_renew_attempts:
+            del self._renewals[serial]
+            self.renewals_failed += 1
+            return
+        renewal.attempts += 1
+        self.renewal_retries += 1
+        backoff = self.config.renew_ack_timeout * (
+            self.config.renew_backoff ** (renewal.attempts - 1)
+        )
+        renewal.timer = self._arm_renewal_timeout(serial, backoff)
+        self._send_renewal(renewal)
+
+    def _handle_renewal_ack(self, message: RenewalAck) -> None:
+        renewal = self._renewals.pop(message.renew_serial, None)
+        if renewal is None:
+            return
+        renewal.timer.cancel()
+        if self.claimed.get(renewal.prefix) is None:
+            return
+        self.claimed.renew(renewal.prefix, renewal.expires_at)
+        self.renewals_acked += 1
+        self._schedule_renewal(renewal.prefix)
+
+    def _handle_renewal(
+        self, message: RenewalMessage, sender: "MascNode"
+    ) -> None:
+        """Refresh the heard record; a parent acks its child."""
+        self.heard_claims.setdefault(message.prefix, message.sender_id)
+        recorded = self._heard_expiry.get(message.prefix, 0.0)
+        self._heard_expiry[message.prefix] = max(
+            recorded, message.expires_at
+        )
+        if sender in self.children:
+            self.overlay.send(
+                self,
+                sender,
+                RenewalAck(
+                    self.node_id, message.prefix, message.renew_serial
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Liveness, failover, and garbage collection
+
+    def start_liveness(self) -> None:
+        """Begin sending hello beacons and watching the primary parent
+        (no-op unless ``config.hello_interval`` is set)."""
+        if self.config.hello_interval is None:
+            return
+        if self._hello_timer is not None:
+            self._hello_timer.cancel()
+        self._liveness_epoch = self.overlay.sim.now
+        self._hello_timer = self.overlay.sim.schedule(
+            self.config.hello_interval, self._hello_tick,
+            name=f"{self.name}-hello",
+        )
+
+    def _hello_tick(self) -> None:
+        if not self.alive:
+            return
+        message = HelloMessage(self.node_id)
+        for peer in self.parents + self.children + self.siblings:
+            self.overlay.send(self, peer, message)
+        self._check_parent_liveness()
+        self.gc_heard_claims()
+        self.expire()
+        self._hello_timer = self.overlay.sim.schedule(
+            self.config.hello_interval, self._hello_tick,
+            name=f"{self.name}-hello",
+        )
+
+    def _check_parent_liveness(self) -> None:
+        primary = self.parent
+        if primary is None or len(self.parents) < 2:
+            return
+        if primary.node_id in self._suspect_parents:
+            return
+        now = self.overlay.sim.now
+        heard = self._last_heard.get(
+            primary.node_id, self._liveness_epoch or now
+        )
+        if now - heard > self.config.liveness_timeout:
+            self._parent_failover(primary)
+
+    def _parent_failover(self, dead: "MascNode") -> None:
+        """Demote a silent primary parent; the next configured parent
+        becomes primary and its advertised space drives new claims."""
+        self._suspect_parents.add(dead.node_id)
+        self.parents.remove(dead)
+        self.parents.append(dead)
+        self._advertised.pop(dead.node_id, None)
+        self.failovers += 1
+
+    def gc_heard_claims(self) -> None:
+        """Drop heard claims whose lifetime has lapsed — the lease-
+        expiry garbage collection that reclaims space held by crashed
+        (hence silent, hence unrenewed) children and siblings."""
+        now = self.overlay.sim.now
+        for prefix, expires_at in list(self._heard_expiry.items()):
+            if expires_at <= now:
+                del self._heard_expiry[prefix]
+                if self.heard_claims.pop(prefix, None) is not None:
+                    self.heard_claims_gced += 1
+
+    # ------------------------------------------------------------------
+    # Crash and restart
+
+    def crash(self) -> None:
+        """Stop participating: timers die, in-flight claims are lost.
+        Confirmed leases persist (allocations outlive the process) but
+        are not renewed, so they lapse unless the node restarts."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        for pending in self._pending:
+            pending.timer.cancel()
+        self._pending.clear()
+        for timer in self._renew_timers.values():
+            timer.cancel()
+        self._renew_timers.clear()
+        for renewal in self._renewals.values():
+            renewal.timer.cancel()
+        self._renewals.clear()
+        if self._hello_timer is not None:
+            self._hello_timer.cancel()
+            self._hello_timer = None
+
+    def restart(self) -> None:
+        """Come back up: drop leases that lapsed while down, re-arm
+        renewal for the survivors, re-advertise, resume liveness."""
+        if self.alive:
+            return
+        self.alive = True
+        self.expire()
+        for prefix in self.claimed.prefixes():
+            self._schedule_renewal(prefix)
+        self.advertise_space()
+        self.start_liveness()
+
+    # ------------------------------------------------------------------
     # Message handling
 
     def handle(self, message, sender: "MascNode") -> None:
         """Dispatch an incoming protocol message."""
+        if not self.alive:
+            return
+        self._last_heard[sender.node_id] = self.overlay.sim.now
         if isinstance(message, SpaceAdvertisement):
             self._handle_advertisement(message)
         elif isinstance(message, ClaimMessage):
@@ -386,6 +685,12 @@ class MascNode:
             self._handle_collision(message)
         elif isinstance(message, ReleaseMessage):
             self._handle_release(message)
+        elif isinstance(message, RenewalMessage):
+            self._handle_renewal(message, sender)
+        elif isinstance(message, RenewalAck):
+            self._handle_renewal_ack(message)
+        elif isinstance(message, HelloMessage):
+            pass  # the _last_heard update above is the whole effect
         else:
             raise TypeError(f"unknown MASC message {message!r}")
 
@@ -445,6 +750,8 @@ class MascNode:
 
     def _record_heard(self, message: ClaimMessage) -> None:
         self.heard_claims[message.prefix] = message.sender_id
+        if message.expires_at != float("inf"):
+            self._heard_expiry[message.prefix] = message.expires_at
 
     def _send_collision(self, claimer: "MascNode", claim: ClaimMessage) -> None:
         self.collisions_sent += 1
@@ -496,6 +803,7 @@ class MascNode:
 
     def _handle_release(self, message: ReleaseMessage) -> None:
         self.heard_claims.pop(message.prefix, None)
+        self._heard_expiry.pop(message.prefix, None)
 
     # ------------------------------------------------------------------
 

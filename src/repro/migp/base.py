@@ -105,6 +105,10 @@ class MigpComponent:
         """True when any local host has joined the group."""
         return bool(self._members.get(group))
 
+    def member_groups(self) -> List[int]:
+        """Groups with at least one local member (sorted)."""
+        return sorted(g for g, members in self._members.items() if members)
+
     def _on_membership_change(self, group: int, joined: bool) -> None:
         """Protocol hook: control traffic emitted on join/leave."""
         self.control_messages += 1

@@ -16,7 +16,7 @@ class Event:
     """A scheduled callback. Returned by :meth:`Simulator.schedule` so the
     caller can cancel or inspect it."""
 
-    __slots__ = ("time", "callback", "args", "cancelled", "name")
+    __slots__ = ("time", "callback", "args", "cancelled", "name", "_owner")
 
     def __init__(
         self,
@@ -30,10 +30,15 @@ class Event:
         self.args = args
         self.cancelled = False
         self.name = name
+        self._owner: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
 
     def __repr__(self) -> str:
         label = self.name or getattr(self.callback, "__name__", "callback")
@@ -56,6 +61,10 @@ class Simulator:
         self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = itertools.count()
         self._processed = 0
+        self._cancelled_pending = 0
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
 
     @property
     def now(self) -> float:
@@ -64,9 +73,15 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still scheduled (including cancelled ones not
-        yet discarded)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still scheduled.
+
+        Cancelled events at the front of the heap are discarded here,
+        so liveness checks never spin on dead events.
+        """
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+            self._cancelled_pending -= 1
+        return len(self._heap) - self._cancelled_pending
 
     @property
     def processed(self) -> int:
@@ -99,6 +114,7 @@ class Simulator:
                 f"cannot schedule into the past: t={time} < now={self._now}"
             )
         event = Event(time, callback, args, name=name)
+        event._owner = self
         heapq.heappush(self._heap, (time, next(self._sequence), event))
         return event
 
@@ -107,8 +123,10 @@ class Simulator:
         while self._heap:
             time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
-            self._now = time
+            if time > self._now:
+                self._now = time
             self._processed += 1
             event.callback(*event.args)
             return True
@@ -118,31 +136,39 @@ class Simulator:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
-    ) -> None:
+    ) -> int:
         """Run until the heap drains, the clock passes ``until``, or
-        ``max_events`` more events have executed.
+        ``max_events`` more events have executed. Returns the number of
+        events executed.
 
         With ``until`` set, the clock is advanced to exactly ``until``
-        even if the last event fires earlier, so periodic samplers see a
-        well-defined end time.
+        even if the last event fires earlier — including on a
+        ``max_events`` early exit — so periodic samplers and fault
+        timers see a consistent end time. (The clock never moves
+        backwards: events left over from an early exit fire at the
+        later of their scheduled time and the current clock.)
         """
         executed = 0
         while self._heap:
             if max_events is not None and executed >= max_events:
-                return
+                break
             time, _, event = self._heap[0]
             if until is not None and time > until:
                 break
             heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
-            self._now = time
+            if time > self._now:
+                self._now = time
             self._processed += 1
             event.callback(*event.args)
             executed += 1
         if until is not None and self._now < until:
             self._now = until
+        return executed
 
     def clear(self) -> None:
         """Drop all pending events (the clock keeps its value)."""
         self._heap.clear()
+        self._cancelled_pending = 0

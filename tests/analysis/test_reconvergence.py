@@ -1,0 +1,109 @@
+"""Reconvergence reporting: probes, blackout windows, metrics."""
+
+import pytest
+
+from repro.addressing.prefix import Prefix
+from repro.analysis.reconvergence import (
+    ProbeSample,
+    ReconvergenceProbe,
+    build_report,
+)
+from repro.bgmp.network import BgmpNetwork
+from repro.faults.injector import FaultInjector, RecoveryRecord
+from repro.faults.plan import FaultPlan, RouterCrash
+from repro.sim.engine import Simulator
+from repro.topology.generators import paper_figure3_topology
+
+GROUP = 0xE0008001
+
+
+def sample(time, ok):
+    return ProbeSample(
+        time=time, all_reached=ok, deliveries=1 if ok else 0,
+        dropped=0 if ok else 1, duplicates=0,
+    )
+
+
+class TestBuildReport:
+    def test_clean_run_recovers_immediately(self):
+        samples = [sample(t, True) for t in (1.0, 2.0, 3.0)]
+        report = build_report(samples, fault_time=0.5)
+        assert report.recovered_time == 1.0
+        assert report.time_to_reconverge == 0.5
+        assert report.probes_lost == 0
+
+    def test_blackout_window_measured(self):
+        samples = [
+            sample(1.0, True),
+            sample(2.0, False),
+            sample(3.0, False),
+            sample(4.0, True),
+            sample(5.0, True),
+        ]
+        report = build_report(samples, fault_time=1.5)
+        assert report.recovered_time == 4.0
+        assert report.time_to_reconverge == 2.5
+        assert report.probes_lost == 2
+        assert report.drops == 2
+
+    def test_flap_recovers_after_second_outage(self):
+        samples = [
+            sample(1.0, False),
+            sample(2.0, True),
+            sample(3.0, False),
+            sample(4.0, True),
+        ]
+        report = build_report(samples, fault_time=0.5)
+        assert report.recovered_time == 4.0
+
+    def test_never_recovered_is_none(self):
+        samples = [sample(1.0, False), sample(2.0, False)]
+        report = build_report(samples, fault_time=0.5)
+        assert report.recovered_time is None
+        assert report.time_to_reconverge is None
+
+    def test_convergence_rounds_from_recoveries(self):
+        records = [
+            RecoveryRecord(2.0, True, 3, migrations=1, rejoined=1),
+            RecoveryRecord(4.0, True, 5, migrations=0, rejoined=0),
+        ]
+        report = build_report(
+            [sample(3.0, True)], fault_time=1.0, recoveries=records
+        )
+        assert report.converged
+        assert report.convergence_rounds == 5
+
+
+class TestProbeOnClock:
+    def test_probe_interval_validated(self):
+        with pytest.raises(ValueError):
+            ReconvergenceProbe(
+                Simulator(), None, GROUP, None, (), interval=0.0
+            )
+
+    def test_single_router_crash_blackout_and_recovery(self):
+        topology = paper_figure3_topology()
+        network = BgmpNetwork(topology)
+        network.originate_group_range(
+            topology.domain("A"), Prefix.parse("224.0.0.0/16")
+        )
+        network.converge()
+        member = topology.domain("F")
+        assert network.join(member.host("m"), GROUP)
+        sim = Simulator()
+        injector = FaultInjector(sim, bgmp=network, recovery_delay=1.0)
+        injector.schedule(FaultPlan([RouterCrash(2.0, "F2")]))
+        probe = ReconvergenceProbe(
+            sim, network, GROUP,
+            source=topology.domain("E").host("s"),
+            member_domains=[member],
+            interval=0.25,
+        )
+        probe.start(until=6.0)
+        sim.run(until=6.0)
+        report = probe.report(2.0, injector.recoveries)
+        # Blackout spans the crash until the recovery pass at t=3.
+        assert report.probes_lost >= 1
+        assert report.recovered_time is not None
+        assert 0.0 < report.time_to_reconverge <= 1.5
+        assert report.converged

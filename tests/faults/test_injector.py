@@ -1,0 +1,173 @@
+"""Fault injector: clock-driven application and recovery passes."""
+
+import random
+
+import pytest
+
+from repro.addressing.prefix import Prefix
+from repro.bgmp.network import BgmpNetwork
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DelayJitter,
+    FaultPlan,
+    LinkDown,
+    MascCrash,
+    MascRestart,
+    MessageLoss,
+    Partition,
+    RouterCrash,
+)
+from repro.masc.config import MascConfig
+from repro.masc.node import MascNode, MascOverlay
+from repro.sim.engine import Simulator
+from repro.topology.generators import paper_figure3_topology
+
+GROUP = 0xE0008001  # 224.0.128.1
+
+
+@pytest.fixture
+def scenario():
+    topology = paper_figure3_topology()
+    network = BgmpNetwork(topology)
+    network.originate_group_range(
+        topology.domain("A"), Prefix.parse("224.0.0.0/16")
+    )
+    network.converge()
+    assert network.join(topology.domain("F").host("m"), GROUP)
+    return Simulator(), network, topology
+
+
+def masc_scenario():
+    sim = Simulator()
+    overlay = MascOverlay(sim, delay=0.1)
+    config = MascConfig(
+        claim_policy="first", waiting_period=4.0,
+        reannounce_interval=None,
+    )
+    parent = MascNode(0, "P", overlay, config=config,
+                      rng=random.Random(0))
+    child = MascNode(1, "C", overlay, config=config,
+                     rng=random.Random(1))
+    parent.start_claim(8)
+    sim.run(until=10.0)
+    child.set_parent(parent)
+    sim.run(until=11.0)
+    return sim, overlay, parent, child
+
+
+class TestBgpLayer:
+    def test_link_down_applied_at_scheduled_time(self, scenario):
+        sim, network, topology = scenario
+        f1 = topology.domain("F").router("F1")
+        b2 = topology.domain("B").router("B2")
+        injector = FaultInjector(sim, bgmp=network, auto_recover=False)
+        injector.schedule(FaultPlan([LinkDown(2.0, "F1", "B2")]))
+        sim.run(until=1.0)
+        assert network.bgp.session_up(f1, b2)
+        sim.run(until=3.0)
+        assert not network.bgp.session_up(f1, b2)
+        assert injector.log[0][0] == 2.0
+
+    def test_crash_recovery_rejoins_members(self, scenario):
+        sim, network, topology = scenario
+        injector = FaultInjector(
+            sim, bgmp=network, recovery_delay=1.0
+        )
+        injector.schedule(FaultPlan([RouterCrash(1.0, "F2")]))
+        sim.run(until=5.0)
+        assert injector.faults_applied == 1
+        record = injector.recoveries[0]
+        assert record.time == 2.0
+        assert record.converged
+        assert record.rejoined >= 1
+        report = network.send(topology.domain("E").host("s"), GROUP)
+        assert report.reached(topology.domain("F"))
+
+    def test_flap_schedules_two_recoveries(self, scenario):
+        sim, network, topology = scenario
+        injector = FaultInjector(sim, bgmp=network, recovery_delay=0.5)
+        plan = FaultPlan().fail_link("F2", "A4", at=1.0, repair_after=2.0)
+        assert injector.schedule(plan) == 4
+        sim.run(until=6.0)
+        assert len(injector.recoveries) == 2
+        assert all(r.converged for r in injector.recoveries)
+        report = network.send(topology.domain("E").host("s"), GROUP)
+        assert report.reached(topology.domain("F"))
+        assert report.duplicates == 0
+
+    def test_unknown_router_rejected(self, scenario):
+        sim, network, _ = scenario
+        injector = FaultInjector(sim, bgmp=network)
+        with pytest.raises(KeyError):
+            injector.apply(RouterCrash(0.0, "Z9"))
+
+    def test_bgp_fault_without_network_rejected(self):
+        injector = FaultInjector(Simulator())
+        with pytest.raises(ValueError):
+            injector.apply(LinkDown(0.0, "F1", "B2"))
+
+
+class TestMascLayer:
+    def test_crash_and_restart_on_schedule(self):
+        sim, overlay, parent, child = masc_scenario()
+        injector = FaultInjector(
+            sim, masc_overlay=overlay, masc_nodes=(parent, child)
+        )
+        injector.schedule(
+            FaultPlan([MascCrash(12.0, "C"), MascRestart(15.0, "C")])
+        )
+        sim.run(until=13.0)
+        assert not child.alive
+        sim.run(until=16.0)
+        assert child.alive
+
+    def test_partition_cuts_and_heals_overlay(self):
+        sim, overlay, parent, child = masc_scenario()
+        injector = FaultInjector(
+            sim, masc_overlay=overlay, masc_nodes=(parent, child)
+        )
+        injector.schedule(
+            FaultPlan().partition(("P",), ("C",), at=12.0, heal_after=3.0)
+        )
+        sim.run(until=13.0)
+        dropped_before = overlay.messages_dropped
+        prefix = child.start_claim(16, lifetime=100.0)
+        sim.run(until=14.0)
+        # Claims sent into the cut vanish (silently, like a real
+        # partition) rather than reaching the parent.
+        assert prefix not in parent.heard_claims
+        sim.run(until=16.0)
+        parent.advertise_space()
+        sim.run(until=17.0)
+        assert child.parent_spaces
+
+    def test_loss_window_sets_and_restores_rate(self):
+        sim, overlay, parent, child = masc_scenario()
+        injector = FaultInjector(
+            sim, masc_overlay=overlay, masc_nodes=(parent, child)
+        )
+        injector.schedule(
+            FaultPlan([MessageLoss(12.0, until=20.0, rate=0.5)])
+        )
+        sim.run(until=13.0)
+        assert overlay.loss_rate == 0.5
+        sim.run(until=21.0)
+        assert overlay.loss_rate == 0.0
+
+    def test_jitter_window_sets_and_restores(self):
+        sim, overlay, parent, child = masc_scenario()
+        injector = FaultInjector(sim, masc_overlay=overlay)
+        injector.schedule(
+            FaultPlan([DelayJitter(12.0, until=14.0, jitter=0.3)])
+        )
+        sim.run(until=12.5)
+        assert overlay.jitter == 0.3
+        sim.run(until=15.0)
+        assert overlay.jitter == 0.0
+
+    def test_masc_fault_without_overlay_rejected(self):
+        injector = FaultInjector(Simulator())
+        with pytest.raises(KeyError):
+            injector.apply(MascCrash(0.0, "C"))
+        with pytest.raises(ValueError):
+            injector.apply(Partition(0.0, ("P",), ("C",)))

@@ -1,0 +1,147 @@
+"""Fault schedules: construction, ordering, seeded generation."""
+
+import random
+
+import pytest
+
+from repro.faults.plan import (
+    FaultCandidate,
+    FaultPlan,
+    LinkDown,
+    LinkUp,
+    MascCrash,
+    MessageLoss,
+    Partition,
+    RouterCrash,
+    RouterRestart,
+)
+
+CANDIDATES = (
+    FaultCandidate("link", "F1", group="F", peer="B2"),
+    FaultCandidate("router", "F2", group="F"),
+    FaultCandidate("router", "H1", group="H"),
+    FaultCandidate("link", "H2", group="H", peer="C2"),
+    FaultCandidate("masc", "P0", group="P"),
+)
+
+
+class TestPlanBasics:
+    def test_faults_kept_time_ordered(self):
+        plan = FaultPlan()
+        plan.add(RouterCrash(5.0, "F2"))
+        plan.add(LinkDown(1.0, "F1", "B2"))
+        plan.add(MascCrash(3.0, "P0"))
+        assert [f.time for f in plan] == [1.0, 3.0, 5.0]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().add(RouterCrash(-1.0, "F2"))
+
+    def test_fail_link_schedules_down_and_up(self):
+        plan = FaultPlan().fail_link("F1", "B2", at=2.0, repair_after=3.0)
+        down, up = plan.faults()
+        assert isinstance(down, LinkDown) and down.time == 2.0
+        assert isinstance(up, LinkUp) and up.time == 5.0
+        assert (up.a, up.b) == ("F1", "B2")
+
+    def test_crash_without_restart(self):
+        plan = FaultPlan().crash_router("F2", at=1.0)
+        (crash,) = plan.faults()
+        assert isinstance(crash, RouterCrash)
+
+    def test_partition_heals_same_sides(self):
+        plan = FaultPlan().partition(
+            ("P0",), ("C", "S"), at=1.0, heal_after=4.0
+        )
+        cut, heal = plan.faults()
+        assert cut.side_a == heal.side_a == ("P0",)
+        assert cut.side_b == heal.side_b == ("C", "S")
+        assert heal.time == 5.0
+
+    def test_lossy_window_bounds(self):
+        plan = FaultPlan().lossy_window(at=2.0, duration=6.0, rate=0.4)
+        (loss,) = plan.faults()
+        assert isinstance(loss, MessageLoss)
+        assert (loss.time, loss.until, loss.rate) == (2.0, 8.0, 0.4)
+
+    def test_describe_is_readable(self):
+        plan = FaultPlan().crash_router("F2", at=1.0, restart_after=2.0)
+        assert plan.describe() == ["crash F2 @1", "restart F2 @3"]
+
+
+class TestCandidateValidation:
+    def test_link_candidate_needs_peer(self):
+        with pytest.raises(ValueError):
+            FaultCandidate("link", "F1", group="F")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultCandidate("cable-cut", "F1", group="F")
+
+
+class TestRandomSchedule:
+    def test_same_seed_same_schedule(self):
+        plans = [
+            FaultPlan.random_schedule(
+                random.Random(7), CANDIDATES, n_faults=2
+            )
+            for _ in range(2)
+        ]
+        assert plans[0].describe() == plans[1].describe()
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            tuple(
+                FaultPlan.random_schedule(
+                    random.Random(seed), CANDIDATES, n_faults=2
+                ).describe()
+            )
+            for seed in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_every_fault_is_repaired(self):
+        plan = FaultPlan.random_schedule(
+            random.Random(3), CANDIDATES, n_faults=2, repair_after=4.0
+        )
+        downs = [
+            f for f in plan
+            if type(f).__name__ in ("LinkDown", "RouterCrash", "MascCrash")
+        ]
+        ups = [
+            f for f in plan
+            if type(f).__name__ in ("LinkUp", "RouterRestart", "MascRestart")
+        ]
+        assert len(downs) == 2 and len(ups) == 2
+
+    def test_double_fault_never_hits_same_group(self):
+        groups_of = {
+            "F1": "F", "F2": "F", "H1": "H", "H2": "H", "P0": "P",
+        }
+        for seed in range(20):
+            plan = FaultPlan.random_schedule(
+                random.Random(seed), CANDIDATES, n_faults=2
+            )
+            hit = {
+                groups_of[f.router if hasattr(f, "router") else
+                          getattr(f, "node", "") or f.a]
+                for f in plan
+                if type(f).__name__ in (
+                    "LinkDown", "RouterCrash", "MascCrash"
+                )
+            }
+            assert len(hit) == 2, plan.describe()
+
+    def test_more_faults_than_groups_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random_schedule(
+                random.Random(0), CANDIDATES, n_faults=4
+            )
+
+    def test_faults_land_in_window(self):
+        plan = FaultPlan.random_schedule(
+            random.Random(1), CANDIDATES, n_faults=1,
+            start=10.0, window=5.0, repair_after=2.0,
+        )
+        first = plan.faults()[0]
+        assert 10.0 <= first.time < 15.0

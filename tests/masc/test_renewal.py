@@ -1,0 +1,226 @@
+"""Claim lifetime renewal, liveness, failover, and crash recovery.
+
+The fault-model contract: a live holder renews its finite-lifetime
+claims before expiry (riding out message loss with exponential-backoff
+retries), a silent primary parent is failed over to a configured
+backup, and a crashed child's unrenewed leases are garbage-collected
+by its parent so the space becomes claimable again.
+"""
+
+import random
+
+from repro.masc.config import MascConfig
+from repro.masc.messages import RenewalMessage
+from repro.masc.node import MascNode, MascOverlay
+from repro.sim.engine import Simulator
+
+
+def make_pair(config=None, **overrides):
+    """A parent with one confirmed /8 and a child attached under it."""
+    sim = Simulator()
+    overlay = MascOverlay(sim, delay=0.1)
+    settings = dict(
+        claim_policy="first",
+        waiting_period=4.0,
+        reannounce_interval=None,
+        auto_renew=True,
+        renew_lead=24.0,
+        renew_ack_timeout=1.0,
+        renew_backoff=2.0,
+        max_renew_attempts=6,
+    )
+    settings.update(overrides)
+    config = config if config is not None else MascConfig(**settings)
+    parent = MascNode(0, "P", overlay, config=config,
+                      rng=random.Random(0))
+    child = MascNode(1, "C", overlay, config=config,
+                     rng=random.Random(1))
+    parent.start_claim(8)
+    sim.run(until=10.0)
+    child.set_parent(parent)
+    sim.run(until=11.0)
+    return sim, overlay, parent, child
+
+
+class TestRenewal:
+    def test_lossless_renewal_extends_lease(self):
+        sim, overlay, parent, child = make_pair()
+        prefix = child.start_claim(16, lifetime=100.0)
+        sim.run(until=20.0)
+        original_expiry = child.claimed.get(prefix).expires_at
+        sim.run(until=original_expiry + 50.0)
+        child.expire()
+        # Renewed before expiry: the claim is still held well past the
+        # original lifetime.
+        assert prefix in child.claimed.prefixes()
+        assert child.claimed.get(prefix).expires_at > original_expiry
+        assert child.renewals_acked >= 1
+        assert child.renewal_retries == 0
+
+    def test_renewal_survives_message_loss_via_backoff(self):
+        # Satellite scenario: claim confirmed -> renewal lost ->
+        # backoff retry -> still held past the original expires_at.
+        sim, overlay, parent, child = make_pair()
+        prefix = child.start_claim(16, lifetime=100.0)
+        sim.run(until=20.0)
+        original_expiry = child.claimed.get(prefix).expires_at
+
+        lost = []
+
+        def drop_first_renewals(src, dst, message):
+            if isinstance(message, RenewalMessage) and len(lost) < 2:
+                lost.append(message)
+                return True
+            return False
+
+        overlay.drop_filter = drop_first_renewals
+        sim.run(until=original_expiry + 50.0)
+        child.expire()
+        assert len(lost) == 2
+        assert child.renewal_retries >= 1
+        assert prefix in child.claimed.prefixes()
+        assert child.claimed.get(prefix).expires_at > original_expiry
+
+    def test_renewal_gives_up_after_attempt_budget(self):
+        sim, overlay, parent, child = make_pair(max_renew_attempts=3)
+        prefix = child.start_claim(16, lifetime=100.0)
+        sim.run(until=20.0)
+        overlay.drop_filter = lambda src, dst, m: isinstance(
+            m, RenewalMessage
+        )
+        sim.run(until=300.0)
+        child.expire()
+        assert child.renewals_failed == 1
+        assert child.renewal_retries == 2
+        assert prefix not in child.claimed.prefixes()
+
+    def test_renewal_refreshes_parent_heard_record(self):
+        sim, overlay, parent, child = make_pair()
+        prefix = child.start_claim(16, lifetime=100.0)
+        sim.run(until=20.0)
+        sim.run(until=150.0)
+        # The parent's record tracks the renewed expiry, so GC at the
+        # original expiry leaves it alone.
+        parent.gc_heard_claims()
+        assert prefix in parent.heard_claims
+
+    def test_top_level_node_renews_locally(self):
+        sim = Simulator()
+        overlay = MascOverlay(sim, delay=0.1)
+        config = MascConfig(
+            claim_policy="first", waiting_period=4.0,
+            reannounce_interval=None, auto_renew=True, renew_lead=24.0,
+        )
+        node = MascNode(0, "T", overlay, config=config,
+                        rng=random.Random(0))
+        prefix = node.start_claim(8, lifetime=60.0)
+        sim.run(until=200.0)
+        node.expire()
+        assert prefix in node.claimed.prefixes()
+
+
+class TestCrashRestart:
+    def test_crashed_node_ignores_traffic_and_stops_sending(self):
+        sim, overlay, parent, child = make_pair()
+        child.crash()
+        assert not child.alive
+        dropped_before = overlay.messages_dropped
+        parent.advertise_space()
+        sim.run(until=20.0)
+        assert overlay.messages_dropped > dropped_before
+
+    def test_crash_loses_pending_claims(self):
+        sim, overlay, parent, child = make_pair()
+        child.start_claim(16, lifetime=100.0)
+        child.crash()
+        assert child.pending_claims() == []
+        sim.run(until=50.0)
+        assert child.claims_confirmed == 0
+
+    def test_restart_drops_lapsed_leases_and_renews_survivors(self):
+        sim, overlay, parent, child = make_pair()
+        short = child.start_claim(16, lifetime=50.0)
+        sim.run(until=20.0)
+        assert short in child.claimed.prefixes()
+        child.crash()
+        sim.run(until=200.0)
+        child.restart()
+        # The lease lapsed while the node was down.
+        assert short not in child.claimed.prefixes()
+        # A fresh claim after restart renews normally again.
+        fresh = child.start_claim(16, lifetime=100.0)
+        sim.run(until=400.0)
+        child.expire()
+        assert fresh in child.claimed.prefixes()
+
+    def test_parent_gc_reclaims_crashed_childs_space(self):
+        sim, overlay, parent, child = make_pair()
+        prefix = child.start_claim(16, lifetime=50.0)
+        sim.run(until=20.0)
+        assert prefix in parent.heard_claims
+        child.crash()
+        sim.run(until=120.0)
+        parent.gc_heard_claims()
+        assert prefix not in parent.heard_claims
+        assert parent.heard_claims_gced >= 1
+
+
+class TestLivenessFailover:
+    def build_failover_scenario(self):
+        sim = Simulator()
+        overlay = MascOverlay(sim, delay=0.1)
+        config = MascConfig(
+            claim_policy="first",
+            waiting_period=4.0,
+            reannounce_interval=None,
+            auto_renew=True,
+            hello_interval=1.0,
+            liveness_timeout=3.0,
+        )
+        primary = MascNode(0, "P0", overlay, config=config,
+                           rng=random.Random(0))
+        backup = MascNode(1, "P1", overlay, config=config,
+                          rng=random.Random(1))
+        child = MascNode(2, "C", overlay, config=config,
+                         rng=random.Random(2))
+        primary.start_claim(8)
+        backup.start_claim(8)
+        sim.run(until=10.0)
+        child.set_parent(primary)
+        child.add_parent(backup)
+        for node in (primary, backup, child):
+            node.start_liveness()
+        sim.run(until=12.0)
+        return sim, overlay, primary, backup, child
+
+    def test_silent_primary_triggers_failover(self):
+        sim, overlay, primary, backup, child = (
+            self.build_failover_scenario()
+        )
+        assert child.parent is primary
+        primary.crash()
+        sim.run(until=30.0)
+        assert child.failovers == 1
+        assert child.parent is backup
+
+    def test_claims_after_failover_use_backup_space(self):
+        sim, overlay, primary, backup, child = (
+            self.build_failover_scenario()
+        )
+        primary.crash()
+        sim.run(until=30.0)
+        prefix = child.start_claim(16)
+        sim.run(until=40.0)
+        assert prefix is not None
+        assert any(
+            space.contains(prefix)
+            for space in backup.claimed.prefixes()
+        )
+
+    def test_live_primary_not_failed_over(self):
+        sim, overlay, primary, backup, child = (
+            self.build_failover_scenario()
+        )
+        sim.run(until=60.0)
+        assert child.failovers == 0
+        assert child.parent is primary

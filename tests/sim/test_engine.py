@@ -88,6 +88,33 @@ class TestCancellation:
         sim.run()
         assert sim.processed == 1
 
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        assert sim.pending == 4
+        events[0].cancel()
+        events[2].cancel()
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_pending_zero_when_all_cancelled(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0, lambda: None) for _ in range(3)]
+        for event in events:
+            event.cancel()
+        assert sim.pending == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
 
 class TestRunBounds:
     def test_until_stops_future_events(self):
@@ -120,6 +147,36 @@ class TestRunBounds:
             sim.schedule(float(i), fired.append, i)
         sim.run(max_events=2)
         assert fired == [0, 1]
+
+    def test_run_returns_event_count(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run(max_events=2) == 2
+        assert sim.run() == 3
+        assert sim.run() == 0
+
+    def test_run_count_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.run() == 1
+
+    def test_max_events_exit_still_advances_to_until(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i), fired.append, i)
+        executed = sim.run(until=10.0, max_events=2)
+        assert executed == 2
+        assert fired == [0, 1]
+        assert sim.now == 10.0
+        # Leftover events still fire on the next run, without the
+        # clock moving backwards.
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.now == 10.0
 
     def test_step(self):
         sim = Simulator()
