@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 from repro.addressing.ipv4 import ADDRESS_BITS
 from repro.addressing.prefix import Prefix
 from repro.addressing.trie import PrefixTrie
+from repro.sim.randomness import default_stream
 
 
 class AllocationError(Exception):
@@ -62,7 +63,11 @@ class PrefixAllocator:
         if policy not in (self.RANDOM, self.FIRST):
             raise ValueError(f"unknown allocation policy: {policy}")
         self._trie = PrefixTrie(space)
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = (
+            rng
+            if rng is not None
+            else default_stream(f"addressing/allocator/{space}")
+        )
         self._policy = policy
 
     @property

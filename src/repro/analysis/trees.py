@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Sequence
 
+from repro.sim.randomness import default_stream
 from repro.topology.domain import Domain
 from repro.topology.network import Topology
 
@@ -291,9 +292,7 @@ def root_transit_fraction(
         return 0.0
     if len(pairs) > max_pairs:
         if rng is None:
-            import random as _random
-
-            rng = _random.Random(0)
+            rng = default_stream("analysis/root-transit")
         pairs = rng.sample(pairs, max_pairs)
     if kind == "unidirectional":
         return 1.0

@@ -9,6 +9,7 @@ where the packet went — the unit tests' window into the data plane.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.addressing.prefix import Prefix
@@ -68,9 +69,15 @@ class DeliveryReport:
         """True when any member in ``domain`` got the packet."""
         return self.deliveries.get(domain, 0) > 0
 
-    def visited_routers(self) -> Set[BorderRouter]:
-        """Routers that processed the packet."""
-        return set(self._visited_routers)
+    def visited_routers(self) -> List[BorderRouter]:
+        """Routers that processed the packet, in stable (domain id,
+        name) order — never the raw set, whose iteration order depends
+        on identity hashes and would leak nondeterminism into reports.
+        """
+        return sorted(
+            self._visited_routers,
+            key=lambda r: (r.domain.domain_id, r.name),
+        )
 
     def __repr__(self) -> str:
         return (
@@ -424,7 +431,7 @@ class BgmpNetwork:
         joined = self.join(host, group)
         after = set(self.tree_routers(group))
         new_routers = sorted(
-            (r for r in after - before),
+            after - before,
             key=lambda r: (r.domain.domain_id, r.name),
         )
         return JoinOutcome(
@@ -565,6 +572,43 @@ class BgmpNetwork:
         """Total BGMP forwarding entries network-wide (the scaling
         metric of section 3)."""
         return sum(len(r.table) for r in self._routers.values())
+
+    def forwarding_digest(self) -> str:
+        """SHA-256 over the full network forwarding state, serialized
+        in a canonical order (routers by (domain id, name); entries by
+        (group, source); children sorted by repr).
+
+        Two runs produced the same trees iff their digests match —
+        the determinism tests' one-line comparison of the entire data
+        plane, independent of dict insertion order or identity hashes.
+        """
+        lines: List[str] = []
+        for router in sorted(
+            self._routers, key=lambda r: (r.domain.domain_id, r.name)
+        ):
+            table = self._routers[router].table
+            for entry in sorted(
+                table.entries(),
+                key=lambda e: (
+                    e.group,
+                    e.source_domain.name if e.source_domain else "",
+                ),
+            ):
+                source = (
+                    entry.source_domain.name if entry.source_domain else "*"
+                )
+                upstream = (
+                    entry.upstream.name if entry.upstream else "-"
+                )
+                children = ",".join(
+                    sorted(repr(c) for c in entry.children)
+                )
+                lines.append(
+                    f"{router.name}|{entry.group:#x}|{source}|"
+                    f"{entry.parent!r}|{children}|{upstream}"
+                )
+        payload = "\n".join(lines).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
 
     def tree_routers(self, group: int) -> List[BorderRouter]:
         """Border routers holding (\\*,G) state for a group."""

@@ -23,10 +23,11 @@ same faults, the same log, and the same verdict.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.injector import FaultInjector, RecoveryRecord
 from repro.faults.plan import FaultCandidate, FaultPlan
+from repro.sanitizer import InvariantSanitizer
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 
@@ -118,6 +119,13 @@ class ChaosResult:
     violations: List[str]
     recoveries: List[RecoveryRecord] = field(default_factory=list)
     log: List[Tuple[float, str]] = field(default_factory=list)
+    #: Determinism fingerprints (populated by sanitized runs): events
+    #: executed, final per-node MASC claim tables, and the SHA-256 of
+    #: the full BGMP forwarding state. Two runs of the same seed must
+    #: agree on all three.
+    events: int = 0
+    claim_tables: Dict[str, List[str]] = field(default_factory=dict)
+    forwarding_digest: str = ""
 
     @property
     def ok(self) -> bool:
@@ -138,6 +146,15 @@ class ChaosHarness:
     ``scenario_factory`` builds a pristine scenario per run (chaos
     runs must not share mutated state); faults per run, placement
     window, and repair delay parameterize the schedule.
+
+    With ``sanitize=True`` every run executes under an
+    :class:`~repro.sanitizer.InvariantSanitizer` attached to the
+    scenario's simulator: safety invariants are checked after every
+    ``check_every``-th event (not just post-recovery), any breakage is
+    recorded into the result's violations with its event trace, and
+    the quiescence checks run after the settling pass. Sanitized
+    results also carry determinism fingerprints (event count, claim
+    tables, forwarding digest).
     """
 
     def __init__(
@@ -148,6 +165,8 @@ class ChaosHarness:
         window: float = 5.0,
         repair_after: float = 5.0,
         recovery_delay: float = 1.0,
+        sanitize: bool = False,
+        check_every: int = 1,
     ):
         self._factory = scenario_factory
         self.n_faults = n_faults
@@ -155,6 +174,8 @@ class ChaosHarness:
         self.window = window
         self.repair_after = repair_after
         self.recovery_delay = recovery_delay
+        self.sanitize = sanitize
+        self.check_every = check_every
 
     def run(self, seed: int) -> ChaosResult:
         """One seeded run: schedule, inject, recover, check."""
@@ -178,12 +199,30 @@ class ChaosHarness:
             recovery_delay=self.recovery_delay,
         )
         injector.schedule(plan)
-        scenario.sim.run(until=scenario.horizon)
+        sanitizer: Optional[InvariantSanitizer] = None
+        if self.sanitize:
+            sanitizer = InvariantSanitizer(
+                bgmp=scenario.bgmp,
+                groups=(scenario.group,) if scenario.bgmp else (),
+                masc_siblings=scenario.masc_siblings,
+                check_every=self.check_every,
+                raise_on_violation=False,
+            ).attach(scenario.sim)
+        try:
+            scenario.sim.run(until=scenario.horizon)
+        finally:
+            if sanitizer is not None:
+                sanitizer.detach()
         violations: List[str] = []
+        if sanitizer is not None:
+            violations.extend(sanitizer.violations)
         if scenario.bgmp is not None:
             # One settling pass after the horizon: late repairs (e.g.
             # a restart near the end) still deserve their recovery.
             injector.recover()
+            if sanitizer is not None:
+                sanitizer.violations.clear()
+                violations.extend(sanitizer.check_converged())
             violations.extend(
                 check_loop_free_trees(scenario.bgmp, scenario.group)
             )
@@ -200,12 +239,25 @@ class ChaosHarness:
             violations.extend(
                 check_no_overlapping_claims(scenario.masc_siblings)
             )
+        claim_tables = {
+            node.name: [str(p) for p in node.claimed.prefixes()]
+            for node in scenario.masc_nodes
+        }
+        digest = (
+            scenario.bgmp.forwarding_digest()
+            if scenario.bgmp is not None
+            and hasattr(scenario.bgmp, "forwarding_digest")
+            else ""
+        )
         return ChaosResult(
             seed=seed,
             schedule=plan.describe(),
             violations=violations,
             recoveries=list(injector.recoveries),
             log=list(injector.log),
+            events=scenario.sim.processed,
+            claim_tables=claim_tables,
+            forwarding_digest=digest,
         )
 
     def run_many(self, seeds: Sequence[int]) -> List[ChaosResult]:

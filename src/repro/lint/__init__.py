@@ -1,0 +1,42 @@
+"""Determinism linter (``python -m repro.lint src/``).
+
+A custom AST static analyzer with no third-party dependencies. The
+paper's claims are only reproducible when every run is bit-for-bit
+deterministic from its seed, so protocol code is held to a
+determinism contract:
+
+========  ==========================================================
+DET001    unseeded or module-level ``random`` use
+DET002    wall-clock access outside the Simulator clock
+DET003    set iteration whose order escapes into output
+DET004    mutable default arguments
+DET005    bare or broad ``except`` handlers
+========  ==========================================================
+
+Suppress a finding with an inline justification::
+
+    rng = random.Random()  # lint: disable=DET001 — entropy ablation
+"""
+
+from repro.lint.engine import (
+    lint_file,
+    lint_paths,
+    lint_source,
+    select_rules,
+    statistics,
+    suppressed_codes,
+)
+from repro.lint.rules import ALL_RULES, Finding, ModuleContext, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "select_rules",
+    "statistics",
+    "suppressed_codes",
+]

@@ -1,0 +1,79 @@
+"""``python -m repro.lint [paths...]`` — the determinism lint gate.
+
+Exits 0 when every checked file is clean, 1 when any finding remains
+(CI fails the build on that), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import lint_paths, select_rules, statistics
+from repro.lint.rules import ALL_RULES
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Determinism linter: protocol code must be reproducible "
+            "from a seed."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print per-rule finding counts",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    try:
+        rules = select_rules(
+            args.select.split(",") if args.select else None
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    findings = lint_paths(args.paths, rules)
+    for finding in findings:
+        print(finding.render())
+    if args.statistics and findings:
+        print()
+        for code, count in statistics(findings).items():
+            print(f"{code}: {count}")
+    if findings:
+        print(
+            f"\n{len(findings)} finding(s). Fix them or suppress with "
+            "an inline '# lint: disable=<code> — <why>'.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

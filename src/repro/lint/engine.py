@@ -1,0 +1,138 @@
+"""Lint driver: parse, run rules, apply suppressions, report.
+
+Suppression syntax — an inline comment on the flagged line::
+
+    self._rng = random.Random()  # lint: disable=DET001 — ablation arm
+
+Multiple codes separate with commas (``disable=DET001,DET003``). The
+policy (enforced by review, not the tool): every suppression carries a
+justification after the code list.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.lint.rules import (
+    ALL_RULES,
+    Finding,
+    ModuleContext,
+    Rule,
+    RULES_BY_CODE,
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9_,\s]+)")
+
+
+def suppressed_codes(line: str) -> FrozenSet[str]:
+    """Rule codes suppressed by an inline comment on ``line``."""
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return frozenset()
+    return frozenset(
+        code.strip()
+        for code in match.group(1).split(",")
+        if code.strip()
+    )
+
+
+def select_rules(codes: Optional[Iterable[str]] = None) -> List[Rule]:
+    """The rules for ``codes`` (all rules when None). Unknown codes
+    raise ValueError with the known set."""
+    if codes is None:
+        return list(ALL_RULES)
+    chosen = []
+    for code in codes:
+        rule = RULES_BY_CODE.get(code.strip().upper())
+        if rule is None:
+            known = ", ".join(sorted(RULES_BY_CODE))
+            raise ValueError(f"unknown rule {code!r} (known: {known})")
+        chosen.append(rule)
+    return chosen
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one module's source text.
+
+    Returns the unsuppressed findings sorted by location. Syntax
+    errors surface as a single pseudo-finding (code ``PARSE``) so a
+    broken file fails the gate instead of slipping through.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                code="PARSE",
+                message=f"could not parse: {error.msg}",
+                path=path,
+                line=error.lineno or 1,
+                column=error.offset or 0,
+            )
+        ]
+    ctx = ModuleContext(tree, path, source)
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        findings.extend(rule.check(ctx))
+    lines = source.splitlines()
+    kept = []
+    for finding in findings:
+        line_text = (
+            lines[finding.line - 1]
+            if 0 < finding.line <= len(lines)
+            else ""
+        )
+        if finding.code in suppressed_codes(line_text):
+            continue
+        kept.append(finding)
+    return sorted(kept, key=lambda f: (f.path, f.line, f.column, f.code))
+
+
+def lint_file(
+    path: str, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint one file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path, rules)
+
+
+def python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    found.append(os.path.join(dirpath, filename))
+    return sorted(set(found))
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``."""
+    findings: List[Finding] = []
+    for path in python_files(paths):
+        findings.extend(lint_file(path, rules))
+    return findings
+
+
+def statistics(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Finding counts per rule code."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return dict(sorted(counts.items()))

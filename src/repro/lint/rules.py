@@ -1,0 +1,589 @@
+"""The determinism rules.
+
+Each rule is a small AST analysis with a stable ``DETxxx`` code. The
+rules encode the repo's determinism contract (see
+``docs/ARCHITECTURE.md``): protocol outcomes must be a pure function
+of the seed, so randomness flows through injected ``random.Random``
+instances or :class:`~repro.sim.randomness.RandomStreams`, time flows
+through the Simulator clock, and no iteration order that can differ
+between runs may reach protocol output.
+
+Rules report :class:`Finding` objects; the engine applies
+``# lint: disable=DETxxx`` suppressions afterwards, so rules stay
+oblivious to comments.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` (clickable in most shells)."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.code} {self.message}"
+        )
+
+
+class ModuleContext:
+    """One parsed module plus the derived maps rules share.
+
+    Holds the parent map (``ast`` has no uplinks) and lazily builds
+    the set-variable inference the DET003 rule needs.
+    """
+
+    def __init__(self, tree: ast.Module, path: str, source: str):
+        self.tree = tree
+        self.path = path
+        self.source = source
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[child] = node
+        self._set_inference: Optional["SetInference"] = None
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (None for the module)."""
+        return self._parents.get(node)
+
+    def enclosing(
+        self, node: ast.AST, kinds: Tuple[type, ...]
+    ) -> Optional[ast.AST]:
+        """The nearest ancestor of one of ``kinds``."""
+        current = self._parents.get(node)
+        while current is not None:
+            if isinstance(current, kinds):
+                return current
+            current = self._parents.get(current)
+        return None
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        """The function owning ``node``, else the module."""
+        found = self.enclosing(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        )
+        return found if found is not None else self.tree
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        """The class owning ``node``, if any."""
+        found = self.enclosing(node, (ast.ClassDef,))
+        return found if isinstance(found, ast.ClassDef) else None
+
+    def in_function(self, node: ast.AST) -> bool:
+        """True when ``node`` sits inside any function body."""
+        return isinstance(
+            self.enclosing_scope(node),
+            (ast.FunctionDef, ast.AsyncFunctionDef),
+        )
+
+    @property
+    def set_inference(self) -> "SetInference":
+        """Lazily built set-variable knowledge for DET003."""
+        if self._set_inference is None:
+            self._set_inference = SetInference(self)
+        return self._set_inference
+
+
+class Rule:
+    """Base class: a code, a one-line summary, and a check."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            code=self.code,
+            message=message,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+        )
+
+
+# ----------------------------------------------------------------------
+# DET001 — unseeded / module-level randomness
+
+
+#: Functions of the ``random`` module that draw from the shared,
+#: unseeded global RNG when called at module level.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "gammavariate", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+
+class UnseededRandomRule(Rule):
+    """DET001: randomness must come from a seeded, injected source.
+
+    Flags ``random.Random()`` with no seed, calls to the ``random``
+    module's global functions (``random.choice`` et al. share one
+    process-global unseeded RNG), ``from random import <global fn>``,
+    and ad-hoc function-local ``import random``. Protocol code takes
+    an ``rng`` parameter or draws a named stream from
+    :class:`~repro.sim.randomness.RandomStreams`.
+    """
+
+    code = "DET001"
+    summary = "unseeded or module-level random use"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(ctx, node)
+            elif isinstance(node, ast.Import):
+                yield from self._check_import(ctx, node)
+
+    def _check_call(
+        self, ctx: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+        ):
+            if func.attr == "Random":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "unseeded random.Random() — pass a seed or "
+                        "inject a RandomStreams stream",
+                    )
+            elif func.attr in GLOBAL_RANDOM_FUNCS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"random.{func.attr}() uses the process-global "
+                    "RNG — draw from an injected rng instead",
+                )
+        elif (
+            isinstance(func, ast.Name)
+            and func.id == "Random"
+            and not node.args
+            and not node.keywords
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                "unseeded Random() — pass a seed or inject a "
+                "RandomStreams stream",
+            )
+
+    def _check_import_from(
+        self, ctx: ModuleContext, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if node.module != "random":
+            return
+        for alias in node.names:
+            if alias.name in GLOBAL_RANDOM_FUNCS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'from random import {alias.name}' binds the "
+                    "process-global RNG — inject an rng instead",
+                )
+
+    def _check_import(
+        self, ctx: ModuleContext, node: ast.Import
+    ) -> Iterator[Finding]:
+        if not ctx.in_function(node):
+            return
+        for alias in node.names:
+            if alias.name == "random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "ad-hoc local 'import random' — take an rng "
+                    "parameter or use a module-level seeded default",
+                )
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock access
+
+
+#: ``time`` module functions that read the host clock.
+WALL_CLOCK_TIME_FUNCS = frozenset(
+    {
+        "asctime", "ctime", "gmtime", "localtime", "monotonic",
+        "monotonic_ns", "perf_counter", "perf_counter_ns",
+        "process_time", "process_time_ns", "strftime", "time",
+        "time_ns",
+    }
+)
+
+#: ``datetime``/``date`` constructors that read the host clock.
+WALL_CLOCK_DATETIME_FUNCS = frozenset({"now", "today", "utcnow"})
+
+
+class WallClockRule(Rule):
+    """DET002: simulation code reads the Simulator clock, never the
+    host's. Flags ``time.time()``-style calls, ``datetime.now()``
+    and friends, and importing those functions by name."""
+
+    code = "DET002"
+    summary = "wall-clock access outside the Simulator clock"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                yield from self._check_attribute(ctx, node)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(ctx, node)
+
+    @staticmethod
+    def _root_name(node: ast.Attribute) -> Optional[str]:
+        value = node.value
+        while isinstance(value, ast.Attribute):
+            value = value.value
+        return value.id if isinstance(value, ast.Name) else None
+
+    def _check_attribute(
+        self, ctx: ModuleContext, node: ast.Attribute
+    ) -> Iterator[Finding]:
+        root = self._root_name(node)
+        if root == "time" and node.attr in WALL_CLOCK_TIME_FUNCS:
+            yield self.finding(
+                ctx,
+                node,
+                f"time.{node.attr} reads the wall clock — use the "
+                "Simulator's `now`",
+            )
+        elif (
+            root in ("datetime", "date")
+            and node.attr in WALL_CLOCK_DATETIME_FUNCS
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"{root}.{node.attr} reads the wall clock — use the "
+                "Simulator's `now`",
+            )
+
+    def _check_import_from(
+        self, ctx: ModuleContext, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if node.module != "time":
+            return
+        for alias in node.names:
+            if alias.name in WALL_CLOCK_TIME_FUNCS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'from time import {alias.name}' imports a "
+                    "wall-clock reader — use the Simulator's `now`",
+                )
+
+
+# ----------------------------------------------------------------------
+# DET003 — set iteration whose order escapes
+
+
+#: Annotation names that denote sets.
+SET_ANNOTATION_NAMES = frozenset(
+    {"AbstractSet", "FrozenSet", "MutableSet", "Set", "frozenset", "set"}
+)
+
+#: Consumers for which element order cannot matter.
+ORDER_FREE_CONSUMERS = frozenset(
+    {"all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum"}
+)
+
+#: Set methods that yield another set.
+SET_PRODUCING_METHODS = frozenset(
+    {"copy", "difference", "intersection", "symmetric_difference", "union"}
+)
+
+
+def _annotation_is_set(node: ast.AST) -> bool:
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id in SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in SET_ANNOTATION_NAMES
+    return False
+
+
+def _is_set_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class SetInference:
+    """Names and ``self`` attributes known to hold sets, per scope.
+
+    Collected from annotations (``x: Set[...]``, annotated args,
+    class-level ``attr: set``) and direct assignments of set-producing
+    expressions (``x = set(...)``, ``self._seen = {a, b}``).
+    """
+
+    def __init__(self, ctx: ModuleContext):
+        self._ctx = ctx
+        #: scope node -> local names known to be sets
+        self.local: Dict[ast.AST, Set[str]] = {}
+        #: class node -> self attributes known to be sets
+        self.attrs: Dict[ast.AST, Set[str]] = {}
+        self._collect()
+
+    def _collect(self) -> None:
+        for node in ast.walk(self._ctx.tree):
+            if isinstance(node, ast.Assign):
+                if _is_set_literal(node.value):
+                    for target in node.targets:
+                        self._mark(target, node)
+            elif isinstance(node, ast.AnnAssign):
+                if _annotation_is_set(node.annotation):
+                    self._mark(node.target, node)
+            elif isinstance(node, ast.arg):
+                if node.annotation is not None and _annotation_is_set(
+                    node.annotation
+                ):
+                    scope = self._ctx.enclosing_scope(node)
+                    self.local.setdefault(scope, set()).add(node.arg)
+
+    def _mark(self, target: ast.AST, site: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            scope = self._ctx.enclosing_scope(site)
+            self.local.setdefault(scope, set()).add(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            owner = self._ctx.enclosing_class(site)
+            if owner is not None:
+                self.attrs.setdefault(owner, set()).add(target.attr)
+
+    def is_setlike(self, expr: ast.AST) -> bool:
+        """True when ``expr`` statically looks like a set."""
+        if _is_set_literal(expr):
+            return True
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            return self.is_setlike(expr.left) or self.is_setlike(
+                expr.right
+            )
+        if isinstance(expr, ast.IfExp):
+            return self.is_setlike(expr.body) or self.is_setlike(
+                expr.orelse
+            )
+        if isinstance(expr, ast.Call) and isinstance(
+            expr.func, ast.Attribute
+        ):
+            if expr.func.attr in SET_PRODUCING_METHODS:
+                return self.is_setlike(expr.func.value)
+            return False
+        if isinstance(expr, ast.Name):
+            scope = self._ctx.enclosing_scope(expr)
+            return expr.id in self.local.get(scope, ())
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            owner = self._ctx.enclosing_class(expr)
+            return owner is not None and expr.attr in self.attrs.get(
+                owner, ()
+            )
+        return False
+
+
+class SetIterationRule(Rule):
+    """DET003: set iteration order may differ between runs (object
+    hashes are identities; string hashes are per-process), so any set
+    iteration whose element order can escape — a ``for`` body, a list
+    or dict comprehension, ``list(...)`` — must go through
+    ``sorted(...)``. Order-insensitive consumers (``sum``, ``len``,
+    ``any``, set comprehensions, ...) are exempt."""
+
+    code = "DET003"
+    summary = "set iteration whose order escapes"
+
+    _MESSAGE = (
+        "iterating a set — order can differ between runs; "
+        "iterate sorted(...) or consume order-insensitively"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        inference = ctx.set_inference
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if inference.is_setlike(node.iter):
+                    yield self.finding(ctx, node.iter, self._MESSAGE)
+            elif isinstance(
+                node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                if self._consumed_order_free(ctx, node):
+                    continue
+                for generator in node.generators:
+                    if inference.is_setlike(generator.iter):
+                        yield self.finding(
+                            ctx, generator.iter, self._MESSAGE
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_materialize(ctx, node, inference)
+
+    @staticmethod
+    def _consumed_order_free(
+        ctx: ModuleContext, comp: ast.AST
+    ) -> bool:
+        parent = ctx.parent(comp)
+        return (
+            isinstance(parent, ast.Call)
+            and comp in parent.args
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ORDER_FREE_CONSUMERS
+        )
+
+    def _check_materialize(
+        self, ctx: ModuleContext, node: ast.Call, inference: SetInference
+    ) -> Iterator[Finding]:
+        if not (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("enumerate", "list", "tuple")
+            and len(node.args) >= 1
+        ):
+            return
+        if inference.is_setlike(node.args[0]):
+            yield self.finding(
+                ctx,
+                node,
+                f"{node.func.id}(<set>) freezes a nondeterministic "
+                "order — use sorted(...)",
+            )
+
+
+# ----------------------------------------------------------------------
+# DET004 — mutable default arguments
+
+
+class MutableDefaultRule(Rule):
+    """DET004: mutable default arguments are shared across calls —
+    state leaks between protocol instances and runs."""
+
+    code = "DET004"
+    summary = "mutable default argument"
+
+    _CONSTRUCTORS = frozenset(
+        {"defaultdict", "dict", "list", "set", "Counter", "OrderedDict"}
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        "mutable default argument — default to None "
+                        "and create the value in the body",
+                    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            return name in self._CONSTRUCTORS
+        return False
+
+
+# ----------------------------------------------------------------------
+# DET005 — bare / broad exception handlers
+
+
+class BroadExceptRule(Rule):
+    """DET005: a bare or broad ``except`` in protocol code swallows
+    invariant violations and typos alike — handle the exceptions the
+    protocol actually raises."""
+
+    code = "DET005"
+    summary = "bare or broad except handler"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' — name the exceptions this "
+                    "handler is for",
+                )
+                continue
+            for name in self._handler_names(node.type):
+                if name in ("BaseException", "Exception"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"broad 'except {name}' — catch the specific "
+                        "protocol exception",
+                    )
+                    break
+
+    @staticmethod
+    def _handler_names(node: ast.AST) -> List[str]:
+        nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+        names = []
+        for item in nodes:
+            if isinstance(item, ast.Name):
+                names.append(item.id)
+            elif isinstance(item, ast.Attribute):
+                names.append(item.attr)
+        return names
+
+
+#: Registry, ordered by code.
+ALL_RULES: Tuple[Rule, ...] = (
+    UnseededRandomRule(),
+    WallClockRule(),
+    SetIterationRule(),
+    MutableDefaultRule(),
+    BroadExceptRule(),
+)
+
+RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -18,6 +18,7 @@ from repro.addressing.leases import Lease, LeaseTable
 from repro.addressing.prefix import Prefix
 from repro.masc.config import LifetimePools, MascConfig
 from repro.masc.manager import DomainSpaceManager
+from repro.sim.randomness import default_stream
 
 
 class MaasServer:
@@ -32,7 +33,11 @@ class MaasServer:
     ):
         self.manager = manager
         self.config = config if config is not None else manager.config
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = (
+            rng
+            if rng is not None
+            else default_stream(f"masc/maas/{manager.name}")
+        )
         #: Optional two-pool lifetime model (section 4.3.1): a months-
         #: scale pool for steady demand, a days-scale pool for surges.
         self.pools = pools

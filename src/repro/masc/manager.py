@@ -34,6 +34,7 @@ from repro.addressing.leases import LeaseTable
 from repro.addressing.prefix import MULTICAST_SPACE, Prefix
 from repro.masc.config import MascConfig
 from repro.masc.spaces import AddressPool, ClaimedSpace
+from repro.sim.randomness import default_stream
 
 
 class ClaimSource:
@@ -154,7 +155,11 @@ class DomainSpaceManager(ClaimSource):
         self.name = name
         self.source = source
         self.config = config if config is not None else MascConfig()
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = (
+            rng
+            if rng is not None
+            else default_stream(f"masc/manager/{name}")
+        )
         self.pool = AddressPool()
         self.clock = clock if clock is not None else (lambda: 0.0)
         #: Lifetimes of this domain's claimed ranges (section 4.3.1).

@@ -18,7 +18,6 @@ Figure 2 likewise simulates the claim algorithm, not packet dynamics).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 

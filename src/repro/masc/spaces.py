@@ -20,6 +20,7 @@ from typing import Iterator, List, Optional
 
 from repro.addressing.allocator import PrefixAllocator
 from repro.addressing.prefix import Prefix
+from repro.sim.randomness import default_stream
 
 
 class ClaimedSpace:
@@ -246,7 +247,7 @@ class AddressPool:
             block = min(shortlist)
         else:
             if rng is None:
-                rng = random.Random()
+                rng = default_stream("masc/spaces/select")
             block = rng.choice(shortlist)
         return block.first_subprefix(length)
 

@@ -62,6 +62,32 @@ class Simulator:
         self._sequence = itertools.count()
         self._processed = 0
         self._cancelled_pending = 0
+        self._observers: List[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------
+    # Observers (sanitizer hook)
+
+    def add_observer(self, observer: Callable[[Event], None]) -> None:
+        """Register a callback invoked after every executed event.
+
+        Observers run synchronously with the event that just fired (the
+        clock still reads the event's time), in registration order.
+        They are the attachment point for runtime checkers such as
+        :class:`repro.sanitizer.InvariantSanitizer`; an observer that
+        raises aborts the run with its exception. Registering the same
+        observer twice is a no-op.
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[Event], None]) -> None:
+        """Unregister an observer (no-op when absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _notify(self, event: Event) -> None:
+        for observer in list(self._observers):
+            observer(event)
 
     def _note_cancelled(self) -> None:
         self._cancelled_pending += 1
@@ -129,6 +155,8 @@ class Simulator:
                 self._now = time
             self._processed += 1
             event.callback(*event.args)
+            if self._observers:
+                self._notify(event)
             return True
         return False
 
@@ -163,6 +191,8 @@ class Simulator:
                 self._now = time
             self._processed += 1
             event.callback(*event.args)
+            if self._observers:
+                self._notify(event)
             executed += 1
         if until is not None and self._now < until:
             self._now = until

@@ -50,3 +50,16 @@ class RandomStreams:
             f"{self._master_seed}/fork:{name}".encode()
         ).digest()
         return RandomStreams(int.from_bytes(digest[:8], "big"))
+
+
+def default_stream(name: str) -> random.Random:
+    """A deterministic seed-0 stream for components built without an
+    injected rng.
+
+    Components that accept an optional ``rng`` must not fall back to
+    an unseeded ``random.Random()`` (the determinism contract, rule
+    DET001): this is the sanctioned fallback — a fresh, independent
+    stream derived from master seed 0 and the component's name, so
+    no-argument construction is reproducible run to run.
+    """
+    return RandomStreams(0).stream(name)

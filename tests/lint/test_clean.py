@@ -1,0 +1,16 @@
+"""The repo's own source must satisfy its determinism contract: the
+linter finds nothing in ``src/`` (the same gate CI enforces via
+``python -m repro.lint src/``)."""
+
+import os
+
+from repro.lint import lint_paths
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+def test_src_tree_is_lint_clean():
+    findings = lint_paths([os.path.join(REPO_ROOT, "src")])
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, f"determinism lint findings:\n{rendered}"

@@ -1,0 +1,307 @@
+"""Per-rule tests for the determinism linter: each rule has at least
+one positive (finding emitted), one negative (clean idiom accepted),
+and one suppressed case."""
+
+import pytest
+
+from repro.lint import lint_source, select_rules, statistics
+
+def lint(source, code=None):
+    rules = select_rules([code]) if code else None
+    return lint_source(source, path="case.py", rules=rules)
+
+def codes(source, code=None):
+    return [f.code for f in lint(source, code)]
+
+class TestDet001UnseededRandom:
+    def test_unseeded_random_constructor_flagged(self):
+        assert codes("import random\nrng = random.Random()\n") == [
+            "DET001"
+        ]
+
+    def test_seeded_constructor_accepted(self):
+        assert codes("import random\nrng = random.Random(42)\n") == []
+
+    def test_global_module_function_flagged(self):
+        source = "import random\nx = random.choice([1, 2])\n"
+        assert codes(source) == ["DET001"]
+
+    def test_injected_rng_accepted(self):
+        source = (
+            "def pick(items, rng):\n"
+            "    return rng.choice(items)\n"
+        )
+        assert codes(source) == []
+
+    def test_from_import_of_global_function_flagged(self):
+        assert codes("from random import choice\n") == ["DET001"]
+
+    def test_from_import_of_random_class_accepted(self):
+        assert codes("from random import Random\n") == []
+
+    def test_function_local_import_flagged(self):
+        source = (
+            "def f():\n"
+            "    import random as _random\n"
+            "    return _random.Random(0)\n"
+        )
+        assert codes(source) == ["DET001"]
+
+    def test_module_level_import_accepted(self):
+        assert codes("import random\n") == []
+
+    def test_suppression_with_justification(self):
+        source = (
+            "import random\n"
+            "rng = random.Random()"
+            "  # lint: disable=DET001 — entropy ablation arm\n"
+        )
+        assert codes(source) == []
+
+    def test_suppression_of_other_code_does_not_apply(self):
+        source = (
+            "import random\n"
+            "rng = random.Random()  # lint: disable=DET002\n"
+        )
+        assert codes(source) == ["DET001"]
+
+class TestDet002WallClock:
+    def test_time_time_flagged(self):
+        assert codes("import time\nnow = time.time()\n") == ["DET002"]
+
+    def test_perf_counter_flagged(self):
+        source = "import time\nt0 = time.perf_counter()\n"
+        assert codes(source) == ["DET002"]
+
+    def test_datetime_now_flagged(self):
+        source = "import datetime\nd = datetime.datetime.now()\n"
+        assert codes(source) == ["DET002"]
+
+    def test_from_time_import_flagged(self):
+        assert codes("from time import monotonic\n") == ["DET002"]
+
+    def test_simulator_clock_accepted(self):
+        source = (
+            "def sample(sim):\n"
+            "    return sim.now\n"
+        )
+        assert codes(source) == []
+
+    def test_time_sleep_accepted(self):
+        # sleep does not *read* the clock into protocol state.
+        assert codes("import time\ntime.sleep(0.1)\n") == []
+
+    def test_suppressed(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # lint: disable=DET002 — wall profiling\n"
+        )
+        assert codes(source) == []
+
+class TestDet003SetIteration:
+    def test_for_over_set_variable_flagged(self):
+        source = (
+            "def f():\n"
+            "    seen = set()\n"
+            "    for item in seen:\n"
+            "        print(item)\n"
+        )
+        assert codes(source) == ["DET003"]
+
+    def test_for_over_sorted_set_accepted(self):
+        source = (
+            "def f():\n"
+            "    seen = set()\n"
+            "    for item in sorted(seen):\n"
+            "        print(item)\n"
+        )
+        assert codes(source) == []
+
+    def test_annotated_argument_flagged(self):
+        source = (
+            "from typing import Set\n"
+            "def f(visited: Set[int]):\n"
+            "    return [v + 1 for v in visited]\n"
+        )
+        assert codes(source) == ["DET003"]
+
+    def test_self_attribute_flagged(self):
+        source = (
+            "class Report:\n"
+            "    def __init__(self):\n"
+            "        self._visited = set()\n"
+            "    def dump(self):\n"
+            "        for router in self._visited:\n"
+            "            print(router)\n"
+        )
+        assert codes(source) == ["DET003"]
+
+    def test_set_difference_flagged(self):
+        source = (
+            "def f():\n"
+            "    before = set()\n"
+            "    after = set()\n"
+            "    return [r for r in after - before]\n"
+        )
+        assert codes(source) == ["DET003"]
+
+    def test_list_of_set_flagged(self):
+        source = (
+            "def f():\n"
+            "    seen = set()\n"
+            "    return list(seen)\n"
+        )
+        assert codes(source) == ["DET003"]
+
+    def test_order_free_consumers_accepted(self):
+        source = (
+            "def f():\n"
+            "    seen = set()\n"
+            "    total = sum(x for x in seen)\n"
+            "    ok = all(x > 0 for x in seen)\n"
+            "    n = len(seen)\n"
+            "    return total, ok, n, sorted(seen)\n"
+        )
+        assert codes(source) == []
+
+    def test_set_comprehension_result_accepted(self):
+        # The result is itself unordered, so order cannot escape.
+        source = (
+            "def f():\n"
+            "    seen = set()\n"
+            "    return {x + 1 for x in seen}\n"
+        )
+        assert codes(source) == []
+
+    def test_iterating_a_list_accepted(self):
+        source = (
+            "def f():\n"
+            "    items = [1, 2, 3]\n"
+            "    for item in items:\n"
+            "        print(item)\n"
+        )
+        assert codes(source) == []
+
+    def test_suppressed(self):
+        source = (
+            "def f():\n"
+            "    seen = set()\n"
+            "    for item in seen:  # lint: disable=DET003 — counted\n"
+            "        pass\n"
+        )
+        assert codes(source) == []
+
+class TestDet004MutableDefault:
+    def test_list_literal_default_flagged(self):
+        assert codes("def f(items=[]):\n    pass\n") == ["DET004"]
+
+    def test_dict_call_default_flagged(self):
+        assert codes("def f(table=dict()):\n    pass\n") == ["DET004"]
+
+    def test_kwonly_default_flagged(self):
+        source = "def f(*, cache={}):\n    pass\n"
+        assert codes(source) == ["DET004"]
+
+    def test_none_default_accepted(self):
+        assert codes("def f(items=None):\n    pass\n") == []
+
+    def test_immutable_defaults_accepted(self):
+        assert codes("def f(n=0, name='x', pair=()):\n    pass\n") == []
+
+    def test_suppressed(self):
+        source = (
+            "def f(items=[]):  # lint: disable=DET004 — frozen constant\n"
+            "    pass\n"
+        )
+        assert codes(source) == []
+
+class TestDet005BroadExcept:
+    def test_bare_except_flagged(self):
+        source = (
+            "def handle(msg):\n"
+            "    try:\n"
+            "        msg.apply()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        assert codes(source) == ["DET005"]
+
+    def test_broad_exception_flagged(self):
+        source = (
+            "def handle(msg):\n"
+            "    try:\n"
+            "        msg.apply()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert codes(source) == ["DET005"]
+
+    def test_broad_in_tuple_flagged(self):
+        source = (
+            "def handle(msg):\n"
+            "    try:\n"
+            "        msg.apply()\n"
+            "    except (ValueError, Exception):\n"
+            "        pass\n"
+        )
+        assert codes(source) == ["DET005"]
+
+    def test_specific_exception_accepted(self):
+        source = (
+            "def handle(msg):\n"
+            "    try:\n"
+            "        msg.apply()\n"
+            "    except KeyError:\n"
+            "        pass\n"
+        )
+        assert codes(source) == []
+
+    def test_suppressed(self):
+        source = (
+            "def handle(msg):\n"
+            "    try:\n"
+            "        msg.apply()\n"
+            "    except Exception:  # lint: disable=DET005 — boundary\n"
+            "        raise\n"
+        )
+        assert codes(source) == []
+
+class TestEngine:
+    def test_syntax_error_becomes_parse_finding(self):
+        findings = lint("def broken(:\n")
+        assert [f.code for f in findings] == ["PARSE"]
+
+    def test_findings_sorted_by_location(self):
+        source = (
+            "import random\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = random.random()\n"
+        )
+        findings = lint(source)
+        assert [f.code for f in findings] == ["DET002", "DET001"]
+        assert [f.line for f in findings] == [3, 4]
+
+    def test_select_unknown_rule_raises(self):
+        with pytest.raises(ValueError):
+            select_rules(["DET999"])
+
+    def test_single_rule_selection(self):
+        source = "import random\nx = random.random()\ny = []\n"
+        assert codes(source, code="DET002") == []
+        assert codes(source, code="DET001") == ["DET001"]
+
+    def test_statistics_counts_by_code(self):
+        source = (
+            "import random\n"
+            "a = random.random()\n"
+            "b = random.random()\n"
+            "def f(x=[]):\n"
+            "    pass\n"
+        )
+        assert statistics(lint(source)) == {"DET001": 2, "DET004": 1}
+
+    def test_render_is_path_line_col_code(self):
+        finding = lint("import random\nx = random.random()\n")[0]
+        assert finding.render().startswith("case.py:2:")
+        assert "DET001" in finding.render()

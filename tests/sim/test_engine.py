@@ -194,3 +194,74 @@ class TestRunBounds:
         sim.run()
         assert fired == []
         assert sim.pending == 0
+
+
+class TestObservers:
+    def test_observer_sees_every_executed_event(self):
+        sim = Simulator()
+        seen = []
+        sim.add_observer(lambda event: seen.append(event.time))
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_observer_runs_after_the_callback(self):
+        sim = Simulator()
+        order = []
+        sim.add_observer(lambda event: order.append("observer"))
+        sim.schedule(1.0, lambda: order.append("callback"))
+        sim.run()
+        assert order == ["callback", "observer"]
+
+    def test_observer_skips_cancelled_events(self):
+        sim = Simulator()
+        seen = []
+        sim.add_observer(lambda event: seen.append(event.time))
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert seen == [2.0]
+
+    def test_observer_fires_on_step(self):
+        sim = Simulator()
+        seen = []
+        sim.add_observer(seen.append)
+        sim.schedule(1.0, lambda: None)
+        sim.step()
+        assert len(seen) == 1
+
+    def test_remove_observer(self):
+        sim = Simulator()
+        seen = []
+        observer = lambda event: seen.append(event.time)  # noqa: E731
+        sim.add_observer(observer)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.remove_observer(observer)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert seen == [1.0]
+        sim.remove_observer(observer)  # no-op when absent
+
+    def test_duplicate_registration_fires_once(self):
+        sim = Simulator()
+        seen = []
+        observer = lambda event: seen.append(event.time)  # noqa: E731
+        sim.add_observer(observer)
+        sim.add_observer(observer)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert seen == [1.0]
+
+    def test_observer_exception_aborts_the_run(self):
+        sim = Simulator()
+
+        def tripwire(event):
+            raise RuntimeError("invariant broken")
+
+        sim.add_observer(tripwire)
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            sim.run()
