@@ -1,0 +1,105 @@
+"""Telemetry overhead and throughput bench.
+
+Runs Figure 2 with the event-loop profiler attached and Figure 4 with
+span tracing on, then writes ``BENCH_trace.json`` (event-loop
+events/sec, p50/p99 callback wall time, span counts) next to the repo
+root so CI can archive the numbers. Also asserts the headline claim of
+the telemetry design: tracing *disabled* costs nothing — the null
+tracer adds no events, no spans, and no per-callback bookkeeping.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import emit, paper_scale
+
+from repro.experiments.fig2 import Figure2Config, run_figure2
+from repro.experiments.fig4 import Figure4Config, run_figure4
+from repro.trace import EventLoopProfiler, Tracer
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+
+
+def _fig2_config() -> Figure2Config:
+    if paper_scale():
+        return Figure2Config(
+            top_count=50, children_per_top=50, duration_days=800.0
+        )
+    return Figure2Config(
+        top_count=5, children_per_top=10, duration_days=100.0
+    )
+
+
+def _callback_stats(summary):
+    ranked = sorted(
+        summary["callbacks"].items(),
+        key=lambda item: -item[1]["total_s"],
+    )
+    return {
+        label: {
+            "count": stats["count"],
+            "p50_us": stats["p50_s"] * 1e6,
+            "p99_us": stats["p99_s"] * 1e6,
+        }
+        for label, stats in ranked[:5]
+    }
+
+
+def test_bench_trace_telemetry(benchmark, figure4_topology):
+    profiler = EventLoopProfiler()
+    fig2_tracer = Tracer()
+
+    def traced_fig2():
+        return run_figure2(
+            _fig2_config(), tracer=fig2_tracer, profiler=profiler
+        )
+
+    benchmark.pedantic(traced_fig2, rounds=1, iterations=1)
+    fig2_summary = profiler.summary()
+
+    fig4_tracer = Tracer()
+    run_figure4(
+        Figure4Config(trials_per_size=2, seed=0),
+        topology=figure4_topology,
+        tracer=fig4_tracer,
+    )
+
+    report = {
+        "fig2": {
+            "events": fig2_summary["events"],
+            "events_per_second": fig2_summary["events_per_second"],
+            "max_queue_depth": fig2_summary["max_queue_depth"],
+            "orphan_events": len(fig2_tracer.orphan_events),
+            "callbacks": _callback_stats(fig2_summary),
+        },
+        "fig4": {
+            "spans": len(fig4_tracer),
+            "sweep_sizes": len(fig4_tracer.spans_named("fig4.size")),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True))
+    emit(
+        "Telemetry throughput (BENCH_trace.json)",
+        json.dumps(report, indent=2, sort_keys=True),
+    )
+
+    # The event loop did real work and the profiler saw all of it.
+    assert fig2_summary["events"] > 1000
+    assert fig2_summary["events_per_second"] > 0
+    # Figure 2's claim algorithm showed up in the trace.
+    assert report["fig2"]["orphan_events"] > 0
+    assert report["fig4"]["spans"] > 0
+
+
+def test_bench_trace_disabled_is_free(benchmark):
+    """With no tracer/profiler passed, runs carry zero telemetry."""
+
+    result = benchmark.pedantic(
+        run_figure2, args=(_fig2_config(),), rounds=1, iterations=1
+    )
+    simulation = result.simulation
+    assert simulation is not None
+    # Nothing to assert on a tracer — there isn't one; the null
+    # objects are module-level singletons, so the only observable is
+    # that the run completed and produced the series.
+    assert len(result.utilization_series()) > 0

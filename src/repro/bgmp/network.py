@@ -21,6 +21,7 @@ from repro.migp import make_migp
 from repro.migp.base import MigpComponent
 from repro.topology.domain import BorderRouter, Domain, Host
 from repro.topology.network import Topology
+from repro.trace.tracer import NULL_TRACER
 
 
 class DeliveryReport:
@@ -135,6 +136,9 @@ class BgmpNetwork:
         self.auto_source_branches = auto_source_branches
         self.topology = topology
         self.bgp = bgp if bgp is not None else BgpNetwork(topology)
+        #: Telemetry sink shared with the per-router components (assign
+        #: a real Tracer to trace joins, prunes, sends, and repairs).
+        self.tracer = NULL_TRACER
         selector = migp_selector or _default_migp_selector
         self._migps: Dict[Domain, MigpComponent] = {}
         self._routers: Dict[BorderRouter, BgmpRouter] = {}
@@ -206,6 +210,13 @@ class BgmpNetwork:
         """The BGMP component of a border router."""
         return self._routers[router]
 
+    def bgmp_routers(self) -> List[BgmpRouter]:
+        """Every BGMP component, in stable (domain id, name) order."""
+        return sorted(
+            self._routers.values(),
+            key=lambda b: (b.router.domain.domain_id, b.router.name),
+        )
+
     def router_up(self, router: BorderRouter) -> bool:
         """Liveness per the BGP substrate's fault state."""
         return self.bgp.router_up(router)
@@ -264,26 +275,33 @@ class BgmpNetwork:
         left redundant by a migration (a domain whose members moved
         back to a recovered exit must not keep delivering through the
         detour too). Returns repair counters."""
-        migrations = self.refresh_trees()
-        rejoined = 0
-        groups: Set[int] = set()
-        for domain in self.topology.domains:
-            migp = self.migp_of(domain)
-            for group in migp.member_groups():
-                groups.add(group)
-                if self._domain_on_tree(domain, group):
-                    continue
-                host = next(iter(migp.members_of(group)))
-                if self.join(host, group):
-                    rejoined += 1
-        pruned = 0
-        for group in sorted(groups):
-            pruned += self._prune_redundant_branches(group)
-        return {
-            "migrations": migrations,
-            "rejoined": rejoined,
-            "pruned": pruned,
-        }
+        with self.tracer.span("bgmp.repair", layer="bgmp") as span:
+            migrations = self.refresh_trees()
+            rejoined = 0
+            groups: Set[int] = set()
+            for domain in self.topology.domains:
+                migp = self.migp_of(domain)
+                for group in migp.member_groups():
+                    groups.add(group)
+                    if self._domain_on_tree(domain, group):
+                        continue
+                    host = next(iter(migp.members_of(group)))
+                    if self.join(host, group):
+                        rejoined += 1
+            pruned = 0
+            for group in sorted(groups):
+                pruned += self._prune_redundant_branches(group)
+            span.finish(
+                status="ok",
+                migrations=migrations,
+                rejoined=rejoined,
+                pruned=pruned,
+            )
+            return {
+                "migrations": migrations,
+                "rejoined": rejoined,
+                "pruned": pruned,
+            }
 
     def _prune_redundant_branches(self, group: int) -> int:
         """Remove interior-only branches at routers that are neither
@@ -400,19 +418,29 @@ class BgmpNetwork:
         (for non-root domains) the best exit router's BGMP component
         receives a join request (section 5's join flow)."""
         domain = host.domain
-        migp = self.migp_of(domain)
-        migp.add_member(host, group)
-        best_exit = self.best_exit_router(domain, group)
-        if best_exit is None:
-            return False
-        route = self.bgp.speaker(best_exit).next_hop_for_group(group)
-        if route is None:
-            return False
-        if route.is_local_origin:
-            # Root domain: membership is purely an MIGP matter until
-            # an external join arrives.
-            return True
-        return self.router_of(best_exit).join(group, MigpTarget(domain))
+        with self.tracer.span(
+            "bgmp.join", layer="bgmp", group=hex(group), domain=domain.name
+        ) as span:
+            migp = self.migp_of(domain)
+            migp.add_member(host, group)
+            best_exit = self.best_exit_router(domain, group)
+            if best_exit is None:
+                span.finish(status="no-exit")
+                return False
+            route = self.bgp.speaker(best_exit).next_hop_for_group(group)
+            if route is None:
+                span.finish(status="no-route")
+                return False
+            if route.is_local_origin:
+                # Root domain: membership is purely an MIGP matter until
+                # an external join arrives.
+                span.finish(status="root-domain")
+                return True
+            joined = self.router_of(best_exit).join(
+                group, MigpTarget(domain)
+            )
+            span.finish(status="grafted" if joined else "failed")
+            return joined
 
     def join_measured(
         self,
@@ -445,22 +473,31 @@ class BgmpNetwork:
         notifies every border router whose interior branch no longer
         serves anyone, and the prunes propagate up the tree."""
         domain = host.domain
-        migp = self.migp_of(domain)
-        migp.remove_member(host, group)
-        if migp.has_members(group):
-            return
-        # A border router's MIGP child target is still needed when some
-        # *other* border router of the domain reaches its own parent
-        # through the interior via this router (transit), even with no
-        # local members left.
-        for router in sorted(domain.routers.values(), key=lambda r: r.name):
-            bgmp = self.router_of(router)
-            entry = bgmp.table.get(group)
-            if entry is None or MigpTarget(domain) not in entry.children:
-                continue
-            if self.interior_transit_needed(domain, group, router):
-                continue
-            bgmp.prune(group, MigpTarget(domain))
+        with self.tracer.span(
+            "bgmp.prune", layer="bgmp", group=hex(group), domain=domain.name
+        ) as span:
+            migp = self.migp_of(domain)
+            migp.remove_member(host, group)
+            if migp.has_members(group):
+                span.finish(status="members-remain")
+                return
+            # A border router's MIGP child target is still needed when
+            # some *other* border router of the domain reaches its own
+            # parent through the interior via this router (transit),
+            # even with no local members left.
+            for router in sorted(
+                domain.routers.values(), key=lambda r: r.name
+            ):
+                bgmp = self.router_of(router)
+                entry = bgmp.table.get(group)
+                if (
+                    entry is None
+                    or MigpTarget(domain) not in entry.children
+                ):
+                    continue
+                if self.interior_transit_needed(domain, group, router):
+                    continue
+                bgmp.prune(group, MigpTarget(domain))
 
     def interior_transit_needed(
         self, domain: Domain, group: int, via: BorderRouter
@@ -503,28 +540,38 @@ class BgmpNetwork:
         """
         report = DeliveryReport()
         domain = host.domain
-        migp = self.migp_of(domain)
-        report.visit_migp(domain)
-        result = migp.inject(group, None, domain)
-        report.deliver(domain, result.local_members)
-        if result.forward_routers:
-            for router in result.forward_routers:
+        with self.tracer.span(
+            "bgmp.send", layer="bgmp", group=hex(group), source=domain.name
+        ) as span:
+            migp = self.migp_of(domain)
+            report.visit_migp(domain)
+            result = migp.inject(group, None, domain)
+            report.deliver(domain, result.local_members)
+            if result.forward_routers:
+                for router in result.forward_routers:
+                    report.migp_transits += 1
+                    self.router_of(router).receive(
+                        group, domain, MigpTarget(domain), report
+                    )
+            else:
+                best_exit = self.best_exit_router(domain, group)
+                if best_exit is None:
+                    report.dropped += 1
+                    span.finish(status="dropped")
+                    return report
                 report.migp_transits += 1
-                self.router_of(router).receive(
+                self.router_of(best_exit).receive(
                     group, domain, MigpTarget(domain), report
                 )
             self._maybe_graft_branches(group, domain, report)
+            span.finish(
+                status="delivered" if report.total_deliveries else "no-members",
+                deliveries=report.total_deliveries,
+                dropped=report.dropped,
+                duplicates=report.duplicates,
+                external_hops=report.external_hops,
+            )
             return report
-        best_exit = self.best_exit_router(domain, group)
-        if best_exit is None:
-            report.dropped += 1
-            return report
-        report.migp_transits += 1
-        self.router_of(best_exit).receive(
-            group, domain, MigpTarget(domain), report
-        )
-        self._maybe_graft_branches(group, domain, report)
-        return report
 
     def _maybe_graft_branches(
         self, group: int, source_domain: Domain, report: DeliveryReport

@@ -93,6 +93,13 @@ class BgmpRouter:
             entry = self.table.create(group, parent)
             self.migp.attach(self.router, group)
             entry.add_child(child)
+            if self.network.tracer.enabled:
+                self.network.tracer.event(
+                    "bgmp.graft",
+                    router=self.router.name,
+                    group=hex(group),
+                    parent=repr(parent),
+                )
             self._propagate_join(group, entry)
             return True
         entry.add_child(child)
@@ -109,6 +116,13 @@ class BgmpRouter:
                 return
             self.joins_sent += 1
             entry.upstream = parent.router
+            if self.network.tracer.enabled:
+                self.network.tracer.event(
+                    "bgmp.join_sent",
+                    router=self.router.name,
+                    group=hex(group),
+                    to=parent.router.name,
+                )
             self.network.router_of(parent.router).join(
                 group, PeerTarget(self.router)
             )
@@ -128,6 +142,14 @@ class BgmpRouter:
         self.migp.forward_join_cost()
         self.joins_sent += 1
         entry.upstream = exit_router
+        if self.network.tracer.enabled:
+            self.network.tracer.event(
+                "bgmp.join_sent",
+                router=self.router.name,
+                group=hex(group),
+                to=exit_router.name,
+                via="migp",
+            )
         self.network.router_of(exit_router).join(
             group, MigpTarget(self.domain)
         )
@@ -202,6 +224,13 @@ class BgmpRouter:
                 return
             child = MigpTarget(self.domain)
         self.prunes_sent += 1
+        if self.network.tracer.enabled:
+            self.network.tracer.event(
+                "bgmp.prune_sent",
+                router=self.router.name,
+                group=hex(group),
+                to=upstream.name,
+            )
         self.network.router_of(upstream).prune(group, child)
 
     def update_parent(self, group: int) -> bool:

@@ -23,6 +23,7 @@ from repro.bgp.routes import Route, RouteType
 from repro.bgp.speaker import BgpSpeaker
 from repro.topology.domain import BorderRouter, Domain
 from repro.topology.network import Topology
+from repro.trace.tracer import NULL_TRACER
 
 
 class ConvergenceError(Exception):
@@ -61,6 +62,10 @@ class BgpNetwork:
         self.policy = policy if policy is not None else GaoRexfordPolicy()
         self.aggregate = aggregate
         self.speakers: Dict[BorderRouter, BgpSpeaker] = {}
+        #: Telemetry sink (assign a real Tracer to trace convergence).
+        self.tracer = NULL_TRACER
+        #: UPDATE messages sent across all sessions, network lifetime.
+        self.updates_sent = 0
         #: Administratively/faulted-down sessions (router pairs) and
         #: crashed routers — maintained by the fault layer.
         self._down_sessions: Set[frozenset] = set()
@@ -216,28 +221,47 @@ class BgpNetwork:
             for r in self._ordered_routers()
             if self.router_up(r)
         ]
-        for speaker in ordered:
-            speaker.recompute()
-        for round_index in range(1, max_rounds + 1):
-            exports = [
-                (speaker, self._session_exports(speaker))
-                for speaker in ordered
-            ]
-            for speaker, per_peer in exports:
-                for peer, routes in per_peer.items():
-                    if peer.domain != speaker.domain:
-                        routes = self._localize(peer.domain, speaker.domain,
-                                                routes)
-                    self.speakers[peer].replace_session_routes(
-                        speaker.router, routes
-                    )
-            changed = False
+        tracer = self.tracer
+        with tracer.span(
+            "bgp.converge", layer="bgp", speakers=len(ordered)
+        ) as span:
             for speaker in ordered:
-                if speaker.recompute():
-                    changed = True
-            if not changed:
-                return ConvergenceResult(True, round_index)
-        return ConvergenceResult(False, max_rounds)
+                speaker.recompute()
+            for round_index in range(1, max_rounds + 1):
+                round_updates = 0
+                exports = [
+                    (speaker, self._session_exports(speaker))
+                    for speaker in ordered
+                ]
+                for speaker, per_peer in exports:
+                    for peer, routes in per_peer.items():
+                        if peer.domain != speaker.domain:
+                            routes = self._localize(peer.domain,
+                                                    speaker.domain,
+                                                    routes)
+                        self.speakers[peer].replace_session_routes(
+                            speaker.router, routes
+                        )
+                        round_updates += 1
+                self.updates_sent += round_updates
+                changed = False
+                for speaker in ordered:
+                    if speaker.recompute():
+                        changed = True
+                if tracer.enabled:
+                    span.event(
+                        "round",
+                        index=round_index,
+                        updates=round_updates,
+                        changed=changed,
+                    )
+                if not changed:
+                    span.finish(
+                        status="converged", rounds=round_index
+                    )
+                    return ConvergenceResult(True, round_index)
+            span.finish(status="budget-exhausted", rounds=max_rounds)
+            return ConvergenceResult(False, max_rounds)
 
     def _ordered_routers(self) -> List[BorderRouter]:
         ordered: List[BorderRouter] = []

@@ -6,11 +6,21 @@ a shell:
 - ``fig2`` — the MASC utilization / G-RIB simulation (Figure 2).
 - ``fig4`` — the tree path-length comparison (Figure 4).
 - ``demo`` — the Figure 1 end-to-end walk-through.
+- ``trace`` — an instrumented run (fig2, fig4, or a chaos scenario)
+  exporting span traces, a Chrome ``trace_event`` file, and a unified
+  metrics snapshot.
+
+Results (tables, reports) go to stdout; progress and diagnostics go to
+stderr through :mod:`logging`, controlled by ``-v`` / ``--quiet``, so
+piped output stays clean and the default output is unchanged.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.fig2 import (
@@ -19,6 +29,27 @@ from repro.experiments.fig2 import (
     run_figure2,
 )
 from repro.experiments.fig4 import Figure4Config, run_figure4
+
+log = logging.getLogger("repro")
+
+
+def _configure_logging(verbose: int, quiet: bool) -> None:
+    """Diagnostics on stderr: WARNING by default, INFO with ``-v``,
+    DEBUG with ``-vv``, ERROR with ``--quiet``."""
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(message)s"))
+    root = logging.getLogger("repro")
+    root.handlers[:] = [handler]
+    root.setLevel(level)
+    root.propagate = False
 
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
@@ -32,6 +63,11 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
             transient_days=min(60.0, args.days / 2),
             seed=args.seed,
         )
+    log.info(
+        "fig2: %dx%d domains, %g days, seed %d",
+        config.top_count, config.children_per_top,
+        config.duration_days, config.seed,
+    )
     result = run_figure2(config)
     print(result.table(every_days=args.every))
     steady = result.steady_state()
@@ -47,6 +83,10 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
         node_count=args.nodes,
         trials_per_size=args.trials,
         seed=args.seed,
+    )
+    log.info(
+        "fig4: %d nodes, %d trials per size, seed %d",
+        config.node_count, config.trials_per_size, config.seed,
     )
     result = run_figure4(config)
     print(result.table())
@@ -76,6 +116,106 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.masc.simulation import ClaimSimulation, SimulationConfig
+    from repro.trace import (
+        EventLoopProfiler,
+        Tracer,
+        collect_metrics,
+        write_chrome_trace,
+        write_jsonl,
+        write_metrics_json,
+    )
+    from repro.analysis.tracereport import render_run_report
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tracer = Tracer()
+    profiler = EventLoopProfiler()
+
+    if args.target == "fig2":
+        config = SimulationConfig(
+            top_count=args.tops,
+            children_per_top=args.children,
+            duration_days=args.days,
+            seed=args.seed,
+        )
+        log.info(
+            "tracing fig2: %dx%d domains, %g days, seed %d",
+            config.top_count, config.children_per_top,
+            config.duration_days, config.seed,
+        )
+        simulation = ClaimSimulation(config, tracer=tracer)
+        profiler.attach(simulation.sim)
+        try:
+            simulation.run()
+        finally:
+            profiler.detach()
+        managers = list(simulation.tops)
+        for children in simulation.children.values():
+            managers.extend(children)
+        registry = collect_metrics(
+            masc_managers=managers, profiler=profiler
+        )
+    elif args.target == "fig4":
+        config4 = Figure4Config(
+            node_count=args.nodes,
+            trials_per_size=args.trials,
+            seed=args.seed,
+        )
+        log.info(
+            "tracing fig4: %d nodes, %d trials per size, seed %d",
+            config4.node_count, config4.trials_per_size, config4.seed,
+        )
+        run_figure4(config4, tracer=tracer)
+        registry = collect_metrics(profiler=profiler)
+    else:  # chaos
+        from repro.faults.chaos import ChaosHarness
+        from repro.faults.scenarios import figure3_chaos_scenario
+
+        log.info(
+            "tracing chaos: %d faults, seed %d", args.faults, args.seed
+        )
+
+        def factory():
+            scenario = figure3_chaos_scenario()
+            profiler.attach(scenario.sim)
+            return scenario
+
+        harness = ChaosHarness(
+            factory, n_faults=args.faults, sanitize=True, trace=True
+        )
+        try:
+            result = harness.run(args.seed)
+        finally:
+            profiler.detach()
+        tracer = result.tracer
+        registry = collect_metrics(
+            registry=result.metrics, profiler=profiler
+        )
+        if result.violations:
+            log.warning(
+                "chaos run recorded %d invariant violations",
+                len(result.violations),
+            )
+
+    jsonl_path = out_dir / f"{args.target}.trace.jsonl"
+    chrome_path = out_dir / f"{args.target}.chrome.json"
+    metrics_path = out_dir / f"{args.target}.metrics.json"
+    write_jsonl(tracer, jsonl_path)
+    write_chrome_trace(tracer, chrome_path, profiler=profiler)
+    write_metrics_json(registry, metrics_path)
+    log.info("wrote %s, %s, %s", jsonl_path, chrome_path, metrics_path)
+
+    print(render_run_report(tracer, profiler, registry))
+    print()
+    print(f"spans: {len(tracer)}  events: {profiler.events}")
+    print(f"trace:   {jsonl_path}")
+    print(f"chrome:  {chrome_path}")
+    print(f"metrics: {metrics_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -84,6 +224,14 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of the MASC/BGMP inter-domain multicast "
             "architecture (SIGCOMM 1998)"
         ),
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="diagnostics on stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress warnings (errors only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -107,6 +255,31 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="Figure 1 end-to-end demo")
     demo.add_argument("--seed", type=int, default=42)
     demo.set_defaults(func=_cmd_demo)
+
+    trace = sub.add_parser(
+        "trace",
+        help="instrumented run: span trace + Chrome trace + metrics",
+    )
+    trace.add_argument(
+        "target", choices=("fig2", "fig4", "chaos"),
+        help="what to run under the tracer",
+    )
+    trace.add_argument("--out", default="trace-out",
+                       help="output directory for the export files")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--tops", type=int, default=10,
+                       help="fig2: top-level domains")
+    trace.add_argument("--children", type=int, default=25,
+                       help="fig2: children per top")
+    trace.add_argument("--days", type=float, default=30.0,
+                       help="fig2: duration in days")
+    trace.add_argument("--nodes", type=int, default=500,
+                       help="fig4: topology size")
+    trace.add_argument("--trials", type=int, default=3,
+                       help="fig4: trials per group size")
+    trace.add_argument("--faults", type=int, default=2,
+                       help="chaos: faults per run")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 
@@ -114,4 +287,5 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     return args.func(args)

@@ -96,8 +96,17 @@ class Figure2Result:
         )
 
 
-def run_figure2(config: Optional[Figure2Config] = None) -> Figure2Result:
-    """Run the Figure 2 simulation and wrap its results."""
+def run_figure2(
+    config: Optional[Figure2Config] = None,
+    tracer=None,
+    profiler=None,
+) -> Figure2Result:
+    """Run the Figure 2 simulation and wrap its results.
+
+    Pass a :class:`~repro.trace.Tracer` and/or
+    :class:`~repro.trace.EventLoopProfiler` to instrument the run; both
+    default to off (no overhead).
+    """
     if config is None:
         config = Figure2Config()
     simulation = ClaimSimulation(
@@ -107,9 +116,17 @@ def run_figure2(config: Optional[Figure2Config] = None) -> Figure2Result:
             duration_days=config.duration_days,
             seed=config.seed,
             masc=config.masc,
-        )
+        ),
+        tracer=tracer,
     )
-    return Figure2Result(config=config, simulation=simulation.run())
+    if profiler is not None:
+        profiler.attach(simulation.sim)
+    try:
+        result = simulation.run()
+    finally:
+        if profiler is not None:
+            profiler.detach()
+    return Figure2Result(config=config, simulation=result)
 
 
 def paper_scale_config(seed: int = 0) -> Figure2Config:

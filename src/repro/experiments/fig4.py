@@ -21,6 +21,7 @@ from repro.analysis.report import format_table
 from repro.analysis.trees import GroupScenario, compare_trees
 from repro.topology.generators import as_graph
 from repro.topology.network import Topology
+from repro.trace.tracer import NULL_TRACER
 
 DEFAULT_GROUP_SIZES = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
 TREE_KINDS = ("unidirectional", "bidirectional", "hybrid")
@@ -100,41 +101,75 @@ class Figure4Result:
         return summary
 
 
+class _SweepClock:
+    """Ordinal trace clock for the (simulator-less) fig4 sweep: each
+    group size occupies one unit of trace time."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
 def run_figure4(
     config: Optional[Figure4Config] = None,
     topology: Optional[Topology] = None,
+    tracer=None,
 ) -> Figure4Result:
     """Run the Figure 4 sweep.
 
     Pass a prebuilt ``topology`` to amortize graph construction across
-    runs (the bench suite does).
+    runs (the bench suite does). A :class:`~repro.trace.Tracer` traces
+    the sweep on an ordinal clock (one tick per group size).
     """
     if config is None:
         config = Figure4Config()
+    if tracer is None:
+        tracer = NULL_TRACER
+    clock = _SweepClock()
+    if tracer.enabled:
+        tracer.bind_clock(clock)
     rng = random.Random(config.seed)
     if topology is None:
         topology = as_graph(rng, node_count=config.node_count)
     result = Figure4Result(config=config)
-    for size in config.group_sizes:
-        size = min(size, len(topology))
-        sums = {kind: 0.0 for kind in TREE_KINDS}
-        maxima = {kind: 0.0 for kind in TREE_KINDS}
-        for _ in range(config.trials_per_size):
-            scenario = GroupScenario.random(topology, rng, size)
-            comparisons = compare_trees(scenario)
-            for kind in TREE_KINDS:
-                sums[kind] += comparisons[kind].average_ratio
-                maxima[kind] = max(
-                    maxima[kind], comparisons[kind].max_ratio
+    with tracer.span(
+        "fig4.sweep",
+        layer="analysis",
+        nodes=len(topology),
+        trials=config.trials_per_size,
+    ) as sweep:
+        for index, size in enumerate(config.group_sizes):
+            clock.now = float(index)
+            size = min(size, len(topology))
+            sums = {kind: 0.0 for kind in TREE_KINDS}
+            maxima = {kind: 0.0 for kind in TREE_KINDS}
+            with tracer.span(
+                "fig4.size", layer="analysis", receivers=size
+            ) as point_span:
+                for _ in range(config.trials_per_size):
+                    scenario = GroupScenario.random(topology, rng, size)
+                    comparisons = compare_trees(scenario)
+                    for kind in TREE_KINDS:
+                        sums[kind] += comparisons[kind].average_ratio
+                        maxima[kind] = max(
+                            maxima[kind], comparisons[kind].max_ratio
+                        )
+                clock.now = float(index + 1)
+                point_span.finish(
+                    status="ok",
+                    bidir_avg=sums["bidirectional"]
+                    / config.trials_per_size,
+                    uni_avg=sums["unidirectional"]
+                    / config.trials_per_size,
                 )
-        result.points.append(
-            SizePoint(
-                group_size=size,
-                average_ratio={
-                    kind: sums[kind] / config.trials_per_size
-                    for kind in TREE_KINDS
-                },
-                max_ratio=dict(maxima),
+            result.points.append(
+                SizePoint(
+                    group_size=size,
+                    average_ratio={
+                        kind: sums[kind] / config.trials_per_size
+                        for kind in TREE_KINDS
+                    },
+                    max_ratio=dict(maxima),
+                )
             )
-        )
+        sweep.finish(status="ok", sizes=len(result.points))
     return result

@@ -30,6 +30,8 @@ from repro.faults.plan import FaultCandidate, FaultPlan
 from repro.sanitizer import InvariantSanitizer
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
+from repro.trace.metrics import collect_metrics
+from repro.trace.tracer import Tracer
 
 
 # ----------------------------------------------------------------------
@@ -126,6 +128,11 @@ class ChaosResult:
     events: int = 0
     claim_tables: Dict[str, List[str]] = field(default_factory=dict)
     forwarding_digest: str = ""
+    #: Populated by traced runs (``ChaosHarness(trace=True)``): the
+    #: run's tracer (full span record) and its unified metrics
+    #: registry snapshot — both deterministic per seed.
+    tracer: Optional[Tracer] = None
+    metrics: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -167,6 +174,7 @@ class ChaosHarness:
         recovery_delay: float = 1.0,
         sanitize: bool = False,
         check_every: int = 1,
+        trace: bool = False,
     ):
         self._factory = scenario_factory
         self.n_faults = n_faults
@@ -176,10 +184,24 @@ class ChaosHarness:
         self.recovery_delay = recovery_delay
         self.sanitize = sanitize
         self.check_every = check_every
+        #: With ``trace=True`` each run gets a fresh Tracer wired into
+        #: every layer the scenario exercises, and the result carries
+        #: the tracer plus a unified metrics snapshot. Traces derive
+        #: only from the schedule and simulation clock, so they are
+        #: byte-identical across same-seed runs.
+        self.trace = trace
 
     def run(self, seed: int) -> ChaosResult:
         """One seeded run: schedule, inject, recover, check."""
         scenario = self._factory()
+        tracer: Optional[Tracer] = None
+        if self.trace:
+            tracer = Tracer().bind_clock(scenario.sim)
+            if scenario.bgmp is not None:
+                scenario.bgmp.tracer = tracer
+                scenario.bgmp.bgp.tracer = tracer
+            for node in scenario.masc_nodes:
+                node.tracer = tracer
         rng = RandomStreams(seed).stream("faults")
         # The fault window opens ``start`` after whatever setup time
         # the scenario factory already consumed on its clock.
@@ -197,6 +219,7 @@ class ChaosHarness:
             masc_overlay=scenario.masc_overlay,
             masc_nodes=scenario.masc_nodes,
             recovery_delay=self.recovery_delay,
+            tracer=tracer,
         )
         injector.schedule(plan)
         sanitizer: Optional[InvariantSanitizer] = None
@@ -207,6 +230,7 @@ class ChaosHarness:
                 masc_siblings=scenario.masc_siblings,
                 check_every=self.check_every,
                 raise_on_violation=False,
+                tracer=tracer,
             ).attach(scenario.sim)
         try:
             scenario.sim.run(until=scenario.horizon)
@@ -249,6 +273,19 @@ class ChaosHarness:
             and hasattr(scenario.bgmp, "forwarding_digest")
             else ""
         )
+        metrics = None
+        if tracer is not None:
+            metrics = collect_metrics(
+                masc_nodes=scenario.masc_nodes,
+                bgp=(
+                    scenario.bgmp.bgp
+                    if scenario.bgmp is not None
+                    else None
+                ),
+                bgmp=scenario.bgmp,
+                overlay=scenario.masc_overlay,
+                injector=injector,
+            )
         return ChaosResult(
             seed=seed,
             schedule=plan.describe(),
@@ -258,6 +295,8 @@ class ChaosHarness:
             events=scenario.sim.processed,
             claim_tables=claim_tables,
             forwarding_digest=digest,
+            tracer=tracer,
+            metrics=metrics,
         )
 
     def run_many(self, seeds: Sequence[int]) -> List[ChaosResult]:

@@ -33,6 +33,7 @@ from repro.faults.plan import (
     RouterRestart,
 )
 from repro.sim.engine import Simulator
+from repro.trace.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -57,12 +58,14 @@ class FaultInjector:
         masc_nodes: Optional[Iterable] = None,
         recovery_delay: float = 1.0,
         auto_recover: bool = True,
+        tracer=None,
     ):
         self.sim = sim
         self.bgmp = bgmp
         self.overlay = masc_overlay
         self.recovery_delay = recovery_delay
         self.auto_recover = auto_recover
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.log: List[Tuple[float, str]] = []
         self.recoveries: List[RecoveryRecord] = []
         self.faults_applied = 0
@@ -109,6 +112,14 @@ class FaultInjector:
 
     def apply(self, fault: Fault) -> None:
         """Apply one fault right now (also used directly by tests)."""
+        with self.tracer.span(
+            "fault.inject", layer="faults", fault=fault.describe()
+        ):
+            self._apply(fault)
+        self.faults_applied += 1
+        self.log.append((self.sim.now, fault.describe()))
+
+    def _apply(self, fault: Fault) -> None:
         if isinstance(fault, LinkDown):
             self._set_link(fault.a, fault.b, up=False)
         elif isinstance(fault, LinkUp):
@@ -135,25 +146,30 @@ class FaultInjector:
             self._jitter_window(fault)
         else:
             raise TypeError(f"unknown fault: {fault!r}")
-        self.faults_applied += 1
-        self.log.append((self.sim.now, fault.describe()))
 
     def recover(self) -> RecoveryRecord:
         """One recovery pass: reconverge BGP, repair BGMP trees."""
         bgmp = self._require_bgmp()
-        result = bgmp.bgp.try_converge()
-        counters = (
-            bgmp.repair_trees()
-            if result.converged
-            else {"migrations": 0, "rejoined": 0}
-        )
-        record = RecoveryRecord(
-            time=self.sim.now,
-            converged=result.converged,
-            rounds=result.rounds,
-            migrations=counters["migrations"],
-            rejoined=counters["rejoined"],
-        )
+        with self.tracer.span("fault.recover", layer="faults") as span:
+            result = bgmp.bgp.try_converge()
+            counters = (
+                bgmp.repair_trees()
+                if result.converged
+                else {"migrations": 0, "rejoined": 0}
+            )
+            record = RecoveryRecord(
+                time=self.sim.now,
+                converged=result.converged,
+                rounds=result.rounds,
+                migrations=counters["migrations"],
+                rejoined=counters["rejoined"],
+            )
+            span.finish(
+                status="converged" if result.converged else "diverged",
+                rounds=result.rounds,
+                migrations=record.migrations,
+                rejoined=record.rejoined,
+            )
         self.recoveries.append(record)
         self.log.append(
             (

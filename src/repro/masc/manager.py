@@ -35,6 +35,7 @@ from repro.addressing.prefix import MULTICAST_SPACE, Prefix
 from repro.masc.config import MascConfig
 from repro.masc.spaces import AddressPool, ClaimedSpace
 from repro.sim.randomness import default_stream
+from repro.trace.tracer import NULL_TRACER
 
 
 class ClaimSource:
@@ -151,9 +152,12 @@ class DomainSpaceManager(ClaimSource):
         on_claimed: Optional[Callable[[Prefix], None]] = None,
         on_released: Optional[Callable[[Prefix], None]] = None,
         clock: Optional[Callable[[], float]] = None,
+        tracer=None,
     ):
         self.name = name
         self.source = source
+        #: Telemetry sink (the null tracer makes it a no-op).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.config = config if config is not None else MascConfig()
         self.rng = (
             rng
@@ -247,6 +251,12 @@ class DomainSpaceManager(ClaimSource):
                 for space in actives:
                     space.active = False
                 self.consolidations += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "masc.consolidate",
+                        domain=self.name,
+                        into=str(prefix),
+                    )
                 self._release_drained()
                 return True
 
@@ -306,10 +316,20 @@ class DomainSpaceManager(ClaimSource):
                     candidate, self.clock() + self.config.claim_lifetime
                 )
                 self.claims_made += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "masc.claim",
+                        domain=self.name,
+                        prefix=str(candidate),
+                    )
                 if self._on_claimed is not None:
                     self._on_claimed(candidate)
                 return candidate
         self.claims_failed += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "masc.claim_failed", domain=self.name, length=length
+            )
         return None
 
     def _grow_own_space(self, space: ClaimedSpace) -> bool:
@@ -320,6 +340,12 @@ class DomainSpaceManager(ClaimSource):
             return False
         self.pool.grow_space(space)
         self.doublings += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "masc.double",
+                domain=self.name,
+                grown=str(space.prefix.parent()),
+            )
         self._notify_growth(space)
         return True
 
@@ -526,6 +552,13 @@ class DomainSpaceManager(ClaimSource):
             space.active = False
         self._last_shrink = now
         self.consolidations += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "masc.consolidate",
+                domain=self.name,
+                into=str(prefix),
+                shrink=True,
+            )
         self._release_drained()
         return True
 

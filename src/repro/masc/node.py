@@ -41,14 +41,21 @@ from repro.masc.messages import (
     SpaceAdvertisement,
 )
 from repro.sim.engine import Event, Simulator
+from repro.trace.tracer import NULL_SPAN, NULL_TRACER
 
 
 class PendingClaim:
-    """One in-flight claim attempt (re-created on every retry)."""
+    """One in-flight claim attempt (re-created on every retry).
+
+    The trace ``span`` (when tracing is on) survives retries: a claim
+    that collides, backs off, and reselects is one transaction, so the
+    retry's :class:`PendingClaim` inherits the span of the attempt it
+    replaces.
+    """
 
     __slots__ = (
         "prefix", "length", "serial", "attempts", "timer",
-        "on_confirmed", "on_failed", "expires_at",
+        "on_confirmed", "on_failed", "expires_at", "span",
     )
 
     def __init__(
@@ -61,6 +68,7 @@ class PendingClaim:
         on_confirmed: Optional[Callable[[Prefix], None]],
         on_failed: Optional[Callable[[], None]],
         expires_at: float,
+        span=NULL_SPAN,
     ):
         self.prefix = prefix
         self.length = length
@@ -70,13 +78,16 @@ class PendingClaim:
         self.on_confirmed = on_confirmed
         self.on_failed = on_failed
         self.expires_at = expires_at
+        self.span = span
 
 
 class PendingRenewal:
     """One in-flight renewal exchange, retried with backoff until a
     parent acks or the attempt budget runs out."""
 
-    __slots__ = ("prefix", "serial", "attempts", "timer", "expires_at")
+    __slots__ = (
+        "prefix", "serial", "attempts", "timer", "expires_at", "span",
+    )
 
     def __init__(
         self,
@@ -85,12 +96,14 @@ class PendingRenewal:
         attempts: int,
         timer: Event,
         expires_at: float,
+        span=NULL_SPAN,
     ):
         self.prefix = prefix
         self.serial = serial
         self.attempts = attempts
         self.timer = timer
         self.expires_at = expires_at
+        self.span = span
 
 
 class MascOverlay:
@@ -177,12 +190,16 @@ class MascNode:
         rng: Optional[random.Random] = None,
         on_confirmed: Optional[Callable[[Prefix], None]] = None,
         on_released: Optional[Callable[[Prefix], None]] = None,
+        tracer=None,
     ):
         self.node_id = node_id
         self.name = name
         self.overlay = overlay
         self.config = config if config is not None else MascConfig()
         self.rng = rng if rng is not None else random.Random(node_id)
+        #: Telemetry sink (assignable after construction; the null
+        #: tracer makes every trace call a no-op).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: MASC parents — the paper allows "one or more" providers.
         self.parents: List[MascNode] = []
         self.children: List[MascNode] = []
@@ -304,6 +321,10 @@ class MascNode:
         prefix = self._select(length)
         if prefix is None:
             self.claims_failed += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "masc.claim_rejected", node=self.name, length=length
+                )
             if on_failed is not None:
                 on_failed()
             return None
@@ -313,6 +334,15 @@ class MascNode:
             else float("inf")
         )
         self._serial += 1
+        span = NULL_SPAN
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                "masc.claim",
+                layer="masc",
+                node=self.name,
+                length=length,
+                prefix=str(prefix),
+            )
         pending = PendingClaim(
             prefix,
             length,
@@ -322,6 +352,7 @@ class MascNode:
             on_confirmed=on_confirmed,
             on_failed=on_failed,
             expires_at=expires_at,
+            span=span,
         )
         self._pending.append(pending)
         self._announce(pending)
@@ -351,6 +382,12 @@ class MascNode:
         )
 
     def _announce(self, pending: PendingClaim) -> None:
+        if self.tracer.enabled:
+            pending.span.event(
+                "announce",
+                prefix=str(pending.prefix),
+                attempt=pending.attempts,
+            )
         message = ClaimMessage(
             self.node_id,
             pending.prefix,
@@ -403,6 +440,10 @@ class MascNode:
         self._pending.remove(pending)
         self.claimed.add(prefix, pending.expires_at, holder=self.name)
         self.claims_confirmed += 1
+        pending.span.finish(
+            status="confirmed", prefix=str(prefix),
+            attempts=pending.attempts,
+        )
         self.advertise_space()
         self._schedule_renewal(prefix)
         if pending.on_confirmed is not None:
@@ -439,6 +480,10 @@ class MascNode:
         expired = [l.prefix for l in self.claimed.expire(now)]
         for prefix in expired:
             self._cancel_renewal(prefix)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "masc.expire", node=self.name, prefix=str(prefix)
+                )
             if self._on_released is not None:
                 self._on_released(prefix)
         if expired:
@@ -470,6 +515,7 @@ class MascNode:
         for serial, renewal in list(self._renewals.items()):
             if renewal.prefix == prefix:
                 renewal.timer.cancel()
+                renewal.span.finish(status="cancelled")
                 del self._renewals[serial]
 
     def _begin_renewal(self, prefix: Prefix) -> None:
@@ -486,6 +532,14 @@ class MascNode:
             self._schedule_renewal(prefix)
             return
         self._renew_serial += 1
+        span = NULL_SPAN
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                "masc.renew",
+                layer="masc",
+                node=self.name,
+                prefix=str(prefix),
+            )
         renewal = PendingRenewal(
             prefix,
             self._renew_serial,
@@ -494,6 +548,7 @@ class MascNode:
                 self._renew_serial, self.config.renew_ack_timeout
             ),
             expires_at=new_expiry,
+            span=span,
         )
         self._renewals[renewal.serial] = renewal
         self._send_renewal(renewal)
@@ -532,9 +587,14 @@ class MascNode:
         if renewal.attempts >= self.config.max_renew_attempts:
             del self._renewals[serial]
             self.renewals_failed += 1
+            renewal.span.finish(
+                status="failed", attempts=renewal.attempts,
+            )
             return
         renewal.attempts += 1
         self.renewal_retries += 1
+        if self.tracer.enabled:
+            renewal.span.event("retry", attempt=renewal.attempts)
         backoff = self.config.renew_ack_timeout * (
             self.config.renew_backoff ** (renewal.attempts - 1)
         )
@@ -547,9 +607,11 @@ class MascNode:
             return
         renewal.timer.cancel()
         if self.claimed.get(renewal.prefix) is None:
+            renewal.span.finish(status="stale")
             return
         self.claimed.renew(renewal.prefix, renewal.expires_at)
         self.renewals_acked += 1
+        renewal.span.finish(status="acked", attempts=renewal.attempts)
         self._schedule_renewal(renewal.prefix)
 
     def _handle_renewal(
@@ -644,14 +706,18 @@ class MascNode:
             return
         self.alive = False
         self.crashes += 1
+        if self.tracer.enabled:
+            self.tracer.event("masc.crash", node=self.name)
         for pending in self._pending:
             pending.timer.cancel()
+            pending.span.finish(status="crashed")
         self._pending.clear()
         for timer in self._renew_timers.values():
             timer.cancel()
         self._renew_timers.clear()
         for renewal in self._renewals.values():
             renewal.timer.cancel()
+            renewal.span.finish(status="crashed")
         self._renewals.clear()
         if self._hello_timer is not None:
             self._hello_timer.cancel()
@@ -663,6 +729,8 @@ class MascNode:
         if self.alive:
             return
         self.alive = True
+        if self.tracer.enabled:
+            self.tracer.event("masc.restart", node=self.name)
         self.expire()
         for prefix in self.claimed.prefixes():
             self._schedule_renewal(prefix)
@@ -755,6 +823,13 @@ class MascNode:
 
     def _send_collision(self, claimer: "MascNode", claim: ClaimMessage) -> None:
         self.collisions_sent += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "masc.collision_sent",
+                node=self.name,
+                against=claimer.name,
+                prefix=str(claim.prefix),
+            )
         self.overlay.send(
             self,
             claimer,
@@ -775,18 +850,34 @@ class MascNode:
         # Remember the conflicting range so reselection avoids it even
         # if we never heard the winner's claim directly.
         self.heard_claims.setdefault(blocked, -1)
+        if self.tracer.enabled:
+            pending.span.event(
+                "collide",
+                prefix=str(pending.prefix),
+                blocked_by=str(blocked),
+            )
         if pending.attempts >= self.config.max_claim_attempts:
             self.claims_failed += 1
+            pending.span.finish(
+                status="failed", reason="attempts-exhausted",
+            )
             if pending.on_failed is not None:
                 pending.on_failed()
             return
         prefix = self._select(pending.length)
         if prefix is None:
             self.claims_failed += 1
+            pending.span.finish(status="failed", reason="no-space")
             if pending.on_failed is not None:
                 pending.on_failed()
             return
         self._serial += 1
+        if self.tracer.enabled:
+            pending.span.event(
+                "backoff",
+                attempt=pending.attempts + 1,
+                reselected=str(prefix),
+            )
         retry = PendingClaim(
             prefix,
             pending.length,
@@ -796,6 +887,7 @@ class MascNode:
             on_confirmed=pending.on_confirmed,
             on_failed=pending.on_failed,
             expires_at=pending.expires_at,
+            span=pending.span,
         )
         self._pending.append(retry)
         self._announce(retry)

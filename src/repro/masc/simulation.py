@@ -28,6 +28,7 @@ from repro.masc.manager import DomainSpaceManager, RootClaimSource
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.sim.stats import TimeSeries
+from repro.trace.tracer import NULL_TRACER
 
 
 @dataclass
@@ -84,9 +85,18 @@ class ClaimSimulation:
     """One MASC allocation run over a two-level (or heterogeneous)
     hierarchy with the Figure 2 demand model."""
 
-    def __init__(self, config: Optional[SimulationConfig] = None):
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        tracer=None,
+    ):
         self.config = config if config is not None else SimulationConfig()
         self.sim = Simulator()
+        #: Telemetry sink shared by every manager (the null tracer by
+        #: default; a real Tracer is re-clocked onto this simulator).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            self.tracer.bind_clock(self.sim)
         self.streams = RandomStreams(self.config.seed)
         self.root = RootClaimSource()
         self.tops: List[DomainSpaceManager] = []
@@ -114,6 +124,7 @@ class ClaimSimulation:
                 config=masc,
                 rng=self.streams.stream(f"claims/T{t}"),
                 clock=clock,
+                tracer=self.tracer,
             )
             self.tops.append(top)
             self.children[t] = []
@@ -125,6 +136,7 @@ class ClaimSimulation:
                     config=masc,
                     rng=self.streams.stream(f"claims/{name}"),
                     clock=clock,
+                    tracer=self.tracer,
                 )
                 self.children[t].append(child)
                 self.maases[name] = MaasServer(

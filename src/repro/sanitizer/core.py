@@ -74,11 +74,15 @@ class InvariantViolation(Exception):
         details: Sequence[str],
         time: float,
         trace: Sequence[TraceEntry] = (),
+        spans: Sequence = (),
     ):
         self.invariant = invariant
         self.details = list(details)
         self.time = time
         self.trace = tuple(trace)
+        #: Open tracer spans at violation time (the in-flight protocol
+        #: transactions) — attached when the sanitizer has a tracer.
+        self.spans = tuple(spans)
         super().__init__(self.render())
 
     def render(self) -> str:
@@ -90,6 +94,9 @@ class InvariantViolation(Exception):
         if self.trace:
             lines.append("  event trace (oldest first):")
             lines.extend(f"    {entry.render()}" for entry in self.trace)
+        if self.spans:
+            lines.append("  open spans (in-flight transactions):")
+            lines.extend(f"    {span.render()}" for span in self.spans)
         return "\n".join(lines)
 
 
@@ -137,9 +144,13 @@ class InvariantSanitizer:
         check_every: int = 1,
         trace_depth: int = 16,
         raise_on_violation: bool = True,
+        tracer=None,
     ):
         if check_every < 1:
             raise ValueError("check_every must be >= 1")
+        #: Optional tracer whose open spans get attached to violations
+        #: (what protocol transactions were in flight when it broke).
+        self.tracer = tracer
         self.bgmp = bgmp
         self.groups = tuple(groups)
         self.masc_siblings = tuple(tuple(g) for g in masc_siblings)
@@ -202,8 +213,11 @@ class InvariantSanitizer:
         if not details:
             return
         now = self._sim.now if self._sim is not None else float("nan")
+        spans = (
+            self.tracer.active_spans() if self.tracer is not None else ()
+        )
         violation = InvariantViolation(
-            invariant, details, now, self.trace()
+            invariant, details, now, self.trace(), spans=spans
         )
         if self.raise_on_violation:
             raise violation

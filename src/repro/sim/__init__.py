@@ -8,14 +8,27 @@ counter statistics collection. All protocol machinery in this library
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.randomness import RandomStreams
-from repro.sim.stats import Counter, SummaryStats, TimeSeries, summarize
+from repro.sim.stats import (
+    Counter,
+    Gauge,
+    Histogram,
+    StatRegistry,
+    SummaryStats,
+    TimeSeries,
+    percentile,
+    summarize,
+)
 
 __all__ = [
     "Event",
     "Simulator",
     "RandomStreams",
     "Counter",
+    "Gauge",
+    "Histogram",
+    "StatRegistry",
     "SummaryStats",
     "TimeSeries",
+    "percentile",
     "summarize",
 ]

@@ -63,6 +63,7 @@ class Simulator:
         self._processed = 0
         self._cancelled_pending = 0
         self._observers: List[Callable[[Event], None]] = []
+        self._profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Observers (sanitizer hook)
@@ -91,6 +92,21 @@ class Simulator:
 
     def _note_cancelled(self) -> None:
         self._cancelled_pending += 1
+
+    # ------------------------------------------------------------------
+    # Profiler hook
+
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Attach (or with ``None``, detach) an event-loop profiler.
+
+        Unlike observers, the profiler brackets each callback: the
+        loop calls ``profiler.begin()`` before and
+        ``profiler.record(event, token, queue_depth)`` after every
+        executed event, so per-callback cost is measurable. With no
+        profiler attached (the default) the loop takes a branch-only
+        fast path. See :class:`repro.trace.EventLoopProfiler`.
+        """
+        self._profiler = profiler
 
     @property
     def now(self) -> float:
@@ -154,7 +170,12 @@ class Simulator:
             if time > self._now:
                 self._now = time
             self._processed += 1
-            event.callback(*event.args)
+            if self._profiler is None:
+                event.callback(*event.args)
+            else:
+                token = self._profiler.begin()
+                event.callback(*event.args)
+                self._profiler.record(event, token, len(self._heap))
             if self._observers:
                 self._notify(event)
             return True
@@ -190,7 +211,12 @@ class Simulator:
             if time > self._now:
                 self._now = time
             self._processed += 1
-            event.callback(*event.args)
+            if self._profiler is None:
+                event.callback(*event.args)
+            else:
+                token = self._profiler.begin()
+                event.callback(*event.args)
+                self._profiler.record(event, token, len(self._heap))
             if self._observers:
                 self._notify(event)
             executed += 1

@@ -1,0 +1,127 @@
+"""Unified metrics collection.
+
+Every protocol layer keeps its own ad-hoc counters — ``MascNode``
+collision and renewal counts, ``DomainSpaceManager`` claim and
+doubling counts, ``BgpNetwork.updates_sent``, ``BgmpRouter`` join and
+prune counts, the fault injector's application and recovery tallies.
+:func:`collect_metrics` gathers all of them into one labelled
+:class:`~repro.sim.stats.StatRegistry`, so a run's full control-plane
+activity exports as a single deterministic snapshot
+(``registry.to_json()``).
+
+Collection is read-only and by-name: components are not modified and
+need not know the registry exists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..sim.stats import StatRegistry
+
+#: MascNode counter attributes (claim-collide protocol activity).
+MASC_NODE_COUNTERS = (
+    "claims_confirmed",
+    "claims_failed",
+    "collisions_sent",
+    "collisions_received",
+    "oversize_collisions",
+    "renewals_acked",
+    "renewal_retries",
+    "renewals_failed",
+    "failovers",
+    "crashes",
+    "heard_claims_gced",
+)
+
+#: DomainSpaceManager counter attributes (claim-algorithm activity).
+MASC_MANAGER_COUNTERS = (
+    "claims_made",
+    "claims_failed",
+    "doublings",
+    "consolidations",
+    "renewals",
+    "renewals_declined",
+    "shedding",
+)
+
+#: BgmpRouter counter attributes (tree control traffic).
+BGMP_ROUTER_COUNTERS = (
+    "joins_sent",
+    "prunes_sent",
+)
+
+
+def collect_metrics(
+    registry: Optional[StatRegistry] = None,
+    masc_nodes: Iterable = (),
+    masc_managers: Iterable = (),
+    bgp=None,
+    bgmp=None,
+    overlay=None,
+    injector=None,
+    profiler=None,
+) -> StatRegistry:
+    """Snapshot every layer's counters into one registry.
+
+    Pass whichever components the run used; absent layers contribute
+    nothing. Per-entity counts get an entity label
+    (``masc.claims_confirmed{node=M1}``) plus an unlabelled
+    network-wide total; iteration is name-sorted so the registry
+    contents are independent of container order.
+    """
+    if registry is None:
+        registry = StatRegistry()
+
+    for node in sorted(masc_nodes, key=lambda n: n.name):
+        for attr in MASC_NODE_COUNTERS:
+            count = getattr(node, attr)
+            registry.counter(f"masc.{attr}", node=node.name).increment(count)
+            registry.counter(f"masc.{attr}").increment(count)
+        registry.gauge("masc.claimed_prefixes", node=node.name).set(
+            len(node.claimed)
+        )
+
+    for manager in sorted(masc_managers, key=lambda m: m.name):
+        for attr in MASC_MANAGER_COUNTERS:
+            count = getattr(manager, attr)
+            registry.counter(
+                f"masc.{attr}", domain=manager.name
+            ).increment(count)
+            registry.counter(f"masc.{attr}").increment(count)
+
+    if bgp is not None:
+        registry.counter("bgp.updates_sent").increment(bgp.updates_sent)
+
+    if bgmp is not None:
+        for bgmp_router in bgmp.bgmp_routers():
+            name = bgmp_router.router.name
+            for attr in BGMP_ROUTER_COUNTERS:
+                count = getattr(bgmp_router, attr)
+                registry.counter(f"bgmp.{attr}", router=name).increment(
+                    count
+                )
+                registry.counter(f"bgmp.{attr}").increment(count)
+        registry.gauge("bgmp.forwarding_entries").set(
+            bgmp.forwarding_state_size()
+        )
+
+    if overlay is not None:
+        registry.counter("masc.messages_dropped").increment(
+            overlay.messages_dropped
+        )
+
+    if injector is not None:
+        registry.counter("faults.applied").increment(injector.faults_applied)
+        registry.counter("faults.recovery_passes").increment(
+            len(injector.recoveries)
+        )
+        registry.counter("faults.recoveries_converged").increment(
+            sum(1 for r in injector.recoveries if r.converged)
+        )
+
+    if profiler is not None:
+        registry.counter("sim.events").increment(profiler.events)
+        registry.gauge("sim.max_queue_depth").set(profiler.max_queue_depth)
+
+    return registry

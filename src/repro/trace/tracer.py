@@ -1,0 +1,388 @@
+"""Span tracing for protocol transactions.
+
+A :class:`Tracer` records *transactions* — a MASC claim's lifecycle
+from announcement through collisions and backoff to confirmation, a
+BGP convergence run, a BGMP join walking from MIGP ingress to the
+tree graft — as **spans**: named intervals on the simulation clock
+with attributes, point-in-time events, and parent/child links that
+tie causally-related work across layers into one trace.
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.** Every instrumented component defaults
+   to :data:`NULL_TRACER`, whose operations are no-ops returning the
+   shared :data:`NULL_SPAN`. Hot paths guard attribute construction
+   with ``if tracer.enabled:`` so a disabled run builds no dicts and
+   no strings.
+2. **Deterministic.** Span ids are sequential integers, timestamps
+   come from the simulation clock (never the host's), and attribute
+   export is key-sorted — two same-seed runs produce byte-identical
+   traces (the determinism contract of docs §6 extends to telemetry).
+3. **Non-lexical spans.** Protocol transactions outlive any single
+   event-loop callback, so spans support explicit
+   :meth:`Tracer.start_span` / :meth:`Span.finish` in addition to the
+   lexical ``with tracer.span(...)`` form used for synchronous work
+   (a BGP convergence, a BGMP join recursion).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class SpanEvent:
+    """A point-in-time annotation inside a span."""
+
+    __slots__ = ("time", "name", "attrs")
+
+    def __init__(self, time: float, name: str, attrs: Dict[str, Any]):
+        self.time = time
+        self.name = name
+        self.attrs = attrs
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic export form (attrs key-sorted)."""
+        record: Dict[str, Any] = {"time": self.time, "name": self.name}
+        if self.attrs:
+            record["attrs"] = dict(sorted(self.attrs.items()))
+        return record
+
+    def __repr__(self) -> str:
+        return f"SpanEvent(t={self.time:g}, {self.name})"
+
+
+class Span:
+    """One traced transaction: a named interval with events.
+
+    Spans are created by a :class:`Tracer` and carry sequential ids;
+    ``parent_id`` links a child transaction to the transaction that
+    caused it (a claim retry to its claim, a recovery pass to the
+    fault that scheduled it).
+    """
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "layer", "start", "end",
+        "status", "attrs", "events", "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        layer: str,
+        start: float,
+        attrs: Dict[str, Any],
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.layer = layer
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = "open"
+        self.attrs = attrs
+        self.events: List[SpanEvent] = []
+        self._tracer = tracer
+
+    @property
+    def open(self) -> bool:
+        """True until :meth:`finish` is called."""
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        """Simulation-time length (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach or update attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: Any) -> "Span":
+        """Record a point-in-time event inside this span."""
+        self.events.append(
+            SpanEvent(self._tracer.now(), name, attrs)
+        )
+        return self
+
+    def finish(self, status: str = "ok", **attrs: Any) -> None:
+        """Close the span at the current clock (idempotent)."""
+        if self.end is not None:
+            return
+        self.end = self._tracer.now()
+        self.status = status
+        if attrs:
+            self.attrs.update(attrs)
+
+    # Lexical use: ``with tracer.span(...) as span:`` — the tracer
+    # pushes on entry and pops (finishing) on exit.
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._pop(self, failed=exc_type is not None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic export form (attrs key-sorted, events in
+        record order)."""
+        record: Dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "layer": self.layer,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+        }
+        if self.attrs:
+            record["attrs"] = dict(sorted(self.attrs.items()))
+        if self.events:
+            record["events"] = [e.to_dict() for e in self.events]
+        return record
+
+    def render(self) -> str:
+        """``#12 masc.claim [masc] t=3.5..7.5 status=confirmed`` —
+        one line of a trace-context report."""
+        end = f"{self.end:g}" if self.end is not None else "…"
+        return (
+            f"#{self.span_id} {self.name} [{self.layer}] "
+            f"t={self.start:g}..{end} status={self.status}"
+        )
+
+    def __repr__(self) -> str:
+        return f"Span({self.render()})"
+
+
+class Tracer:
+    """Collects spans and events against a simulation clock.
+
+    :param clock: a zero-argument callable returning the current
+        simulation time. Bind one at construction, or later with
+        :meth:`bind_clock` (e.g. once the :class:`Simulator` exists).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock if clock is not None else _zero_clock
+        self._ids = itertools.count(1)
+        #: Every span ever started, in id order.
+        self.spans: List[Span] = []
+        #: Events recorded outside any span (exported as instants).
+        self.orphan_events: List[SpanEvent] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+
+    def bind_clock(self, sim) -> "Tracer":
+        """Read time from ``sim.now`` from here on; returns self."""
+        self._clock = lambda: sim.now
+        return self
+
+    def now(self) -> float:
+        """The tracer's current (simulation) time."""
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # Spans
+
+    def start_span(
+        self,
+        name: str,
+        layer: str = "",
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a non-lexical span (caller must :meth:`Span.finish`).
+
+        With no explicit ``parent``, the innermost lexically-active
+        span (if any) becomes the parent, so transactions started from
+        inside a traced operation link to it automatically.
+        """
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        span = Span(
+            tracer=self,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            layer=layer,
+            start=self.now(),
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        return span
+
+    def span(
+        self,
+        name: str,
+        layer: str = "",
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a lexical span for use as a context manager: it is
+        pushed on the tracer's stack (becoming the default parent for
+        nested spans and events) and finished when the ``with`` block
+        exits."""
+        span = self.start_span(name, layer=layer, parent=parent, **attrs)
+        self._stack.append(span)
+        return span
+
+    def _pop(self, span: Span, failed: bool) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
+        span.finish(status="error" if failed else "ok")
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost lexically-active span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def active_spans(self) -> List[Span]:
+        """All spans not yet finished, in id order — the trace context
+        attached to sanitizer violations."""
+        return [span for span in self.spans if span.open]
+
+    # ------------------------------------------------------------------
+    # Events
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an event on the current span, or as an orphan
+        instant when no lexical span is active."""
+        if self._stack:
+            self._stack[-1].event(name, **attrs)
+            return
+        self.orphan_events.append(SpanEvent(self.now(), name, attrs))
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def finished_spans(self) -> List[Span]:
+        """All closed spans, in id order."""
+        return [span for span in self.spans if not span.open]
+
+    def spans_named(self, name: str) -> List[Span]:
+        """All spans (open or closed) with the given name."""
+        return [span for span in self.spans if span.name == name]
+
+    def children_of(self, span: Span) -> List[Span]:
+        """Direct child spans of ``span``, in id order."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        open_count = sum(1 for s in self.spans if s.open)
+        return (
+            f"Tracer(spans={len(self.spans)}, open={open_count}, "
+            f"orphan_events={len(self.orphan_events)})"
+        )
+
+
+class _NullSpan:
+    """The do-nothing span: accepts the whole :class:`Span` surface,
+    records nothing, and is its own context manager."""
+
+    __slots__ = ()
+
+    span_id = 0
+    parent_id = None
+    name = ""
+    layer = ""
+    start = 0.0
+    end: Optional[float] = 0.0
+    status = "null"
+    attrs: Dict[str, Any] = {}
+    events: Tuple[SpanEvent, ...] = ()
+    open = False
+    duration = 0.0
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def finish(self, status: str = "ok", **attrs: Any) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def render(self) -> str:
+        return "<null span>"
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+#: Shared no-op span returned by the null tracer.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The do-nothing tracer every component defaults to.
+
+    ``enabled`` is False so instrumented hot paths can skip building
+    attribute dicts entirely; calls that do reach it are no-ops.
+    """
+
+    enabled = False
+    spans: Tuple[Span, ...] = ()
+    orphan_events: Tuple[SpanEvent, ...] = ()
+    current = None
+
+    def bind_clock(self, sim) -> "NullTracer":
+        return self
+
+    def now(self) -> float:
+        return 0.0
+
+    def start_span(self, name, layer="", parent=None, **attrs):
+        return NULL_SPAN
+
+    def span(self, name, layer="", parent=None, **attrs):
+        return NULL_SPAN
+
+    def event(self, name, **attrs) -> None:
+        return None
+
+    def active_spans(self) -> List[Span]:
+        return []
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+    def spans_named(self, name: str) -> List[Span]:
+        return []
+
+    def children_of(self, span) -> List[Span]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NULL_TRACER"
+
+
+#: Shared no-op tracer (safe to share: it holds no state).
+NULL_TRACER = NullTracer()

@@ -3,75 +3,9 @@ run twice under the invariant sanitizer, must agree on every
 observable — event counts, the fault log, final MASC claim tables,
 and a stable hash of the full BGMP forwarding state."""
 
-import random
+from repro.faults.chaos import ChaosHarness
+from repro.faults.scenarios import figure3_chaos_scenario as build_scenario
 
-from repro.addressing.prefix import Prefix
-from repro.bgmp.network import BgmpNetwork
-from repro.faults.chaos import ChaosHarness, ChaosScenario
-from repro.faults.plan import FaultCandidate
-from repro.masc.config import MascConfig
-from repro.masc.node import MascNode, MascOverlay
-from repro.sim.engine import Simulator
-from repro.topology.generators import paper_figure3_topology
-
-GROUP = 0xE0008001
-
-CANDIDATES = (
-    FaultCandidate("link", "F1", group="F", peer="B2"),
-    FaultCandidate("router", "F2", group="F"),
-    FaultCandidate("link", "H2", group="H", peer="C2"),
-    FaultCandidate("router", "H1", group="H"),
-    FaultCandidate("masc", "M1", group="masc-M1"),
-    FaultCandidate("masc", "M2", group="masc-M2"),
-)
-
-def build_scenario():
-    """Figure 3 internetwork with members in F and H plus a MASC tree
-    (parent MP, siblings M1/M2) on the same clock — every candidate
-    fault is survivable by design."""
-    sim = Simulator()
-    topology = paper_figure3_topology()
-    network = BgmpNetwork(topology)
-    network.originate_group_range(
-        topology.domain("A"), Prefix.parse("224.0.0.0/16")
-    )
-    network.converge()
-    members = []
-    for name in ("F", "H"):
-        host = topology.domain(name).host("m")
-        assert network.join(host, GROUP)
-        members.append(host.domain)
-
-    overlay = MascOverlay(sim, delay=0.1)
-    config = MascConfig(
-        claim_policy="first", waiting_period=2.0,
-        reannounce_interval=None,
-    )
-    parent = MascNode(0, "MP", overlay, config=config,
-                      rng=random.Random(0))
-    siblings = [
-        MascNode(i, f"M{i}", overlay, config=config,
-                 rng=random.Random(i))
-        for i in (1, 2)
-    ]
-    parent.start_claim(8)
-    sim.run(until=5.0)
-    for node in siblings:
-        node.set_parent(parent)
-        node.start_claim(16)
-
-    return ChaosScenario(
-        sim=sim,
-        candidates=CANDIDATES,
-        bgmp=network,
-        group=GROUP,
-        source=topology.domain("E").host("s"),
-        member_domains=members,
-        masc_overlay=overlay,
-        masc_nodes=[parent] + siblings,
-        masc_siblings=[siblings],
-        horizon=30.0,
-    )
 
 class TestSanitizedDoubleRun:
     def test_same_seed_twice_is_bit_identical(self):

@@ -265,3 +265,108 @@ class TestObservers:
         sim.schedule(1.0, lambda: None)
         with pytest.raises(RuntimeError):
             sim.run()
+
+    def test_observers_fire_in_registration_order(self):
+        sim = Simulator()
+        order = []
+        sim.add_observer(lambda event: order.append("first"))
+        sim.add_observer(lambda event: order.append("second"))
+        sim.add_observer(lambda event: order.append("third"))
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_removing_one_observer_keeps_the_others(self):
+        sim = Simulator()
+        seen = []
+        keep = lambda event: seen.append("keep")  # noqa: E731
+        drop = lambda event: seen.append("drop")  # noqa: E731
+        sim.add_observer(keep)
+        sim.add_observer(drop)
+        sim.remove_observer(drop)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert seen == ["keep"]
+
+    def test_reregistration_after_removal_fires_again(self):
+        sim = Simulator()
+        seen = []
+        observer = lambda event: seen.append(event.time)  # noqa: E731
+        sim.add_observer(observer)
+        sim.remove_observer(observer)
+        sim.add_observer(observer)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert seen == [1.0]
+
+
+class TestProfilerHook:
+    class _Recorder:
+        def __init__(self):
+            self.begun = 0
+            self.records = []
+
+        def begin(self):
+            self.begun += 1
+            return 123.0
+
+        def record(self, event, token, queue_depth):
+            self.records.append((event.time, token, queue_depth))
+
+    def test_profiler_brackets_every_event(self):
+        sim = Simulator()
+        profiler = self._Recorder()
+        sim.set_profiler(profiler)
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert profiler.begun == 2
+        assert [r[0] for r in profiler.records] == [1.0, 2.0]
+        assert all(r[1] == 123.0 for r in profiler.records)
+
+    def test_profiler_sees_queue_depth_after_pop(self):
+        sim = Simulator()
+        profiler = self._Recorder()
+        sim.set_profiler(profiler)
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert [r[2] for r in profiler.records] == [2, 1, 0]
+
+    def test_profiler_detached_by_none(self):
+        sim = Simulator()
+        profiler = self._Recorder()
+        sim.set_profiler(profiler)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.set_profiler(None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert profiler.begun == 1
+
+    def test_profiler_runs_before_observers(self):
+        sim = Simulator()
+        order = []
+
+        class Probe:
+            def begin(self):
+                return 0.0
+
+            def record(self, event, token, queue_depth):
+                order.append("profiler")
+
+        sim.set_profiler(Probe())
+        sim.add_observer(lambda event: order.append("observer"))
+        sim.schedule(1.0, lambda: order.append("callback"))
+        sim.run()
+        assert order == ["callback", "profiler", "observer"]
+
+    def test_profiler_skips_cancelled_events(self):
+        sim = Simulator()
+        profiler = self._Recorder()
+        sim.set_profiler(profiler)
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        sim.run()
+        assert [r[0] for r in profiler.records] == [2.0]

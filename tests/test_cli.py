@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -21,6 +24,23 @@ class TestParser:
         )
         assert args.nodes == 200
         assert args.trials == 2
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "chaos"])
+        assert args.target == "chaos"
+        assert args.out == "trace-out"
+        assert args.seed == 0
+        assert args.faults == 2
+
+    def test_trace_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "fig9"])
+
+    def test_verbosity_flags(self):
+        args = build_parser().parse_args(["-v", "fig2"])
+        assert args.verbose == 1
+        args = build_parser().parse_args(["--quiet", "fig2"])
+        assert args.quiet
 
 
 class TestCommands:
@@ -47,3 +67,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "rooted at F" in out
         assert "DeliveryReport" in out
+
+    def test_default_logging_keeps_stdout_clean(self, capsys):
+        code = main(["fig4", "--nodes", "120", "--trials", "1"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "INFO" not in captured.out
+        assert captured.err == ""
+
+    def test_verbose_logs_to_stderr_only(self, capsys):
+        code = main(["-v", "fig4", "--nodes", "120", "--trials", "1"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "INFO" in captured.err
+        assert "INFO" not in captured.out
+        logging.getLogger("repro").setLevel(logging.WARNING)
+
+
+class TestTraceCommand:
+    def test_chaos_trace_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "telemetry"
+        code = main(
+            ["trace", "chaos", "--faults", "1", "--out", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "== spans ==" in captured.out
+        assert "== event loop ==" in captured.out
+        jsonl = out / "chaos.trace.jsonl"
+        chrome = out / "chaos.chrome.json"
+        metrics = out / "chaos.metrics.json"
+        for path in (jsonl, chrome, metrics):
+            assert path.exists(), path
+        records = [
+            json.loads(line)
+            for line in jsonl.read_text().splitlines()
+        ]
+        assert any(r["kind"] == "span" for r in records)
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        snapshot = json.loads(metrics.read_text())
+        assert "counters" in snapshot
+
+    def test_fig4_trace_runs_small(self, tmp_path, capsys):
+        out = tmp_path / "t"
+        code = main(
+            ["trace", "fig4", "--nodes", "120", "--trials", "1",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert (out / "fig4.trace.jsonl").exists()
+        assert "fig4.sweep" in capsys.readouterr().out
