@@ -1,16 +1,24 @@
-"""Binary prefix trie.
+"""Binary prefix tries.
 
-The trie tracks which sub-prefixes of a root space are allocated and
-answers the query at the heart of the MASC claim algorithm (section
-4.3.3 of the paper): *what are the largest free blocks* — the free
-sub-prefixes of the shortest possible mask length — from which a claimer
-then picks one at random.
+:class:`PrefixTrie` tracks which sub-prefixes of a root space are
+allocated and answers the query at the heart of the MASC claim
+algorithm (section 4.3.3 of the paper): *what are the largest free
+blocks* — the free sub-prefixes of the shortest possible mask length —
+from which a claimer then picks one at random.
+
+:class:`LpmTrie` is the routing-side sibling: a longest-prefix-match
+map in which prefixes may overlap (aggregates coexist with their more
+specifics, exactly as in a RIB). It backs the G-RIB lookups of
+:class:`~repro.bgp.rib.LocRib` and the network-wide origin index of
+``BgpNetwork.root_domain_of``, replacing the linear scans that
+dominated large-topology runs.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Any, Iterator, List, Optional
 
+from repro.addressing.ipv4 import ADDRESS_BITS, bit_at
 from repro.addressing.prefix import Prefix
 
 
@@ -202,6 +210,90 @@ class PrefixTrie:
 
     def __iter__(self) -> Iterator[Prefix]:
         return iter(self.allocations())
+
+
+#: Internal marker distinguishing "no value stored" from a stored None.
+_MISSING = object()
+
+
+class _LpmNode:
+    __slots__ = ("low", "high", "value")
+
+    def __init__(self) -> None:
+        self.low: Optional["_LpmNode"] = None
+        self.high: Optional["_LpmNode"] = None
+        self.value: Any = _MISSING
+
+
+class LpmTrie:
+    """Longest-prefix-match map over possibly overlapping prefixes.
+
+    Unlike :class:`PrefixTrie` (an allocation tracker that forbids
+    overlap), an ``LpmTrie`` stores one value per prefix and lets
+    covering aggregates coexist with their more specifics;
+    :meth:`lookup` walks an address's bit path and returns the value
+    of the most specific stored prefix covering it — the classic
+    routing-table operation, O(32) instead of O(table size).
+    """
+
+    __slots__ = ("_root", "_count")
+
+    def __init__(self) -> None:
+        self._root = _LpmNode()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._node_for(prefix)
+        return node is not None and node.value is not _MISSING
+
+    def _node_for(self, prefix: Prefix) -> Optional[_LpmNode]:
+        node: Optional[_LpmNode] = self._root
+        for position in range(prefix.length):
+            if node is None:
+                return None
+            node = node.high if prefix.bit(position) else node.low
+        return node
+
+    def insert(self, prefix: Prefix, value: Any) -> None:
+        """Store ``value`` under ``prefix`` (replacing any previous
+        value for the exact same prefix)."""
+        node = self._root
+        for position in range(prefix.length):
+            if prefix.bit(position):
+                if node.high is None:
+                    node.high = _LpmNode()
+                node = node.high
+            else:
+                if node.low is None:
+                    node.low = _LpmNode()
+                node = node.low
+        if node.value is _MISSING:
+            self._count += 1
+        node.value = value
+
+    def get(self, prefix: Prefix) -> Any:
+        """The value stored under exactly ``prefix`` (None if absent)."""
+        node = self._node_for(prefix)
+        if node is None or node.value is _MISSING:
+            return None
+        return node.value
+
+    def lookup(self, address: int) -> Any:
+        """Longest-match lookup: the value of the most specific stored
+        prefix covering ``address`` (None when nothing covers it)."""
+        node: Optional[_LpmNode] = self._root
+        best = self._root.value
+        for position in range(ADDRESS_BITS):
+            assert node is not None
+            node = node.high if bit_at(address, position) else node.low
+            if node is None:
+                break
+            if node.value is not _MISSING:
+                best = node.value
+        return None if best is _MISSING else best
 
 
 def _subtree_has_allocation(node: _Node) -> bool:

@@ -127,6 +127,7 @@ class BgmpNetwork:
         migp_selector: Optional[Callable[[Domain], str]] = None,
         auto_unicast: bool = True,
         auto_source_branches: bool = False,
+        incremental: bool = True,
     ):
         #: Section 5.3's data-driven option: when a delivery had to be
         #: encapsulated (dense-mode RPF mismatch), the decapsulating
@@ -135,7 +136,11 @@ class BgmpNetwork:
         #: natively.
         self.auto_source_branches = auto_source_branches
         self.topology = topology
-        self.bgp = bgp if bgp is not None else BgpNetwork(topology)
+        self.bgp = (
+            bgp
+            if bgp is not None
+            else BgpNetwork(topology, incremental=incremental)
+        )
         #: Telemetry sink shared with the per-router components (assign
         #: a real Tracer to trace joins, prunes, sends, and repairs).
         self.tracer = NULL_TRACER

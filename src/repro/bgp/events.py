@@ -43,7 +43,13 @@ class EventDrivenBgp(BgpNetwork):
         internal_delay: float = 0.01,
         mrai: float = 0.0,
     ):
-        super().__init__(topology, policy=policy, aggregate=aggregate)
+        # The event layer mutates speakers and recomputes outside
+        # try_converge, so the incremental bookkeeping would go stale —
+        # always run on the full engine.
+        super().__init__(
+            topology, policy=policy, aggregate=aggregate,
+            incremental=False,
+        )
         self.sim = sim
         self.external_delay = external_delay
         self.internal_delay = internal_delay

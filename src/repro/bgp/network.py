@@ -6,14 +6,27 @@ inside each domain, and drives synchronous update rounds until every
 Loc-RIB is stable. Aggregation of covered customer group routes
 (section 4.3.2 of the paper) is applied at the domain's external
 border.
+
+Two propagation engines share one code path. The default *incremental*
+engine tracks which speakers' inputs changed (dirty sets fed by
+:class:`~repro.bgp.speaker.BgpSpeaker` mutation hooks) and only those
+speakers export; the *full* engine (``incremental=False``) exports
+from every speaker each round. Both gate every directed session on the
+cached last-sent advertisement set, so an unchanged set sends nothing
+— which makes the two engines produce identical rounds, Loc-RIBs,
+update counts, and trace fingerprints (see
+``docs/ARCHITECTURE.md`` section 8 and
+``tests/bgp/test_incremental_equivalence.py``).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.addressing.prefix import Prefix
+from repro.addressing.trie import LpmTrie
 from repro.bgp.policy import (
     ExportPolicy,
     GaoRexfordPolicy,
@@ -24,6 +37,11 @@ from repro.bgp.speaker import BgpSpeaker
 from repro.topology.domain import BorderRouter, Domain
 from repro.topology.network import Topology
 from repro.trace.tracer import NULL_TRACER
+
+#: "Never sent anything" and "last sent an empty set" are equivalent:
+#: both mean the receiver holds no routes from this session, so an
+#: empty advertisement set is never worth an UPDATE.
+_NOTHING_SENT: List[Route] = []
 
 
 class ConvergenceError(Exception):
@@ -57,21 +75,97 @@ class BgpNetwork:
         topology: Topology,
         policy: Optional[ExportPolicy] = None,
         aggregate: bool = True,
+        incremental: bool = True,
     ):
         self.topology = topology
         self.policy = policy if policy is not None else GaoRexfordPolicy()
         self.aggregate = aggregate
+        #: Engine selection: the incremental engine only recomputes and
+        #: exports from speakers whose inputs changed; the full engine
+        #: walks every speaker every round. Subclasses that mutate
+        #: speaker state behind the network's back (e.g. the
+        #: event-driven variant) must pass ``incremental=False``.
+        self.incremental = incremental
         self.speakers: Dict[BorderRouter, BgpSpeaker] = {}
         #: Telemetry sink (assign a real Tracer to trace convergence).
         self.tracer = NULL_TRACER
         #: UPDATE messages sent across all sessions, network lifetime.
+        #: An UPDATE is counted per directed session per round *only*
+        #: when the advertisement set actually changed since the last
+        #: send on that session (an empty set counts as "nothing ever
+        #: sent"); unchanged sets are suppressed, exactly as a real
+        #: speaker would not re-announce a stable table.
         self.updates_sent = 0
         #: Administratively/faulted-down sessions (router pairs) and
         #: crashed routers — maintained by the fault layer.
         self._down_sessions: Set[frozenset] = set()
         self._down_routers: Set[BorderRouter] = set()
+        #: Speakers whose decision inputs changed since their last
+        #: recompute, and speakers whose exports must be re-evaluated.
+        self._dirty: Set[BgpSpeaker] = set()
+        self._export_dirty: Set[BgpSpeaker] = set()
+        #: Last advertisement set sent on each directed session
+        #: (sender router, receiver router) — post-:meth:`_localize`,
+        #: so an equality hit skips the whole receive path.
+        self._last_sent: Dict[
+            Tuple[BorderRouter, BorderRouter], List[Route]
+        ] = {}
+        #: True while :meth:`try_converge` performs its own mutations;
+        #: speaker hooks are ignored so the engine's bookkeeping is not
+        #: polluted by the sends it issues itself.
+        self._muted = False
+        #: Per-domain cache of originated prefixes by type, and the
+        #: network-wide longest-match index of GROUP origins; both are
+        #: invalidated by :meth:`origins_changed`.
+        self._own_prefix_cache: Dict[
+            Domain, Dict[RouteType, List[Prefix]]
+        ] = {}
+        self._origin_index: Optional[LpmTrie] = None
         for router in topology.routers():
-            self.speakers[router] = BgpSpeaker(router)
+            self.speakers[router] = self._new_speaker(router)
+
+    def _new_speaker(self, router: BorderRouter) -> BgpSpeaker:
+        speaker = BgpSpeaker(router)
+        speaker._listener = self
+        self._dirty.add(speaker)
+        self._export_dirty.add(speaker)
+        return speaker
+
+    # ------------------------------------------------------------------
+    # Dirty-set bookkeeping (called by BgpSpeaker mutation hooks)
+
+    def speaker_dirty(self, speaker: BgpSpeaker) -> None:
+        """A speaker's decision inputs changed outside of convergence:
+        it must recompute, and its exports must be re-evaluated."""
+        if self._muted:
+            return
+        self._dirty.add(speaker)
+        self._export_dirty.add(speaker)
+
+    def origins_changed(self, speaker: BgpSpeaker) -> None:
+        """A speaker's origin set changed: the domain's own-prefix
+        cache and the network-wide origin index are stale, and every
+        speaker of the domain filters exports against the domain's
+        origins (aggregation), so all of them must re-export."""
+        domain = speaker.domain
+        self._own_prefix_cache.pop(domain, None)
+        self._origin_index = None
+        for router in domain.routers.values():
+            peer_speaker = self.speakers.get(router)
+            if peer_speaker is not None:
+                self._export_dirty.add(peer_speaker)
+        self._export_dirty.add(speaker)
+
+    def invalidate(self) -> None:
+        """Mark every speaker dirty and drop every cache — the big
+        hammer for callers that mutate the topology (new links or
+        routers) after construction."""
+        self._own_prefix_cache.clear()
+        self._origin_index = None
+        self._last_sent.clear()
+        for speaker in self.speakers.values():
+            self._dirty.add(speaker)
+            self._export_dirty.add(speaker)
 
     # ------------------------------------------------------------------
     # Origination
@@ -81,8 +175,16 @@ class BgpNetwork:
         after construction)."""
         found = self.speakers.get(router)
         if found is None:
-            found = BgpSpeaker(router)
+            found = self._new_speaker(router)
             self.speakers[router] = found
+            # Existing neighbors must (re-)send to the newcomer.
+            for peer in list(router.external_neighbors) + list(
+                router.internal_peers()
+            ):
+                peer_speaker = self.speakers.get(peer)
+                if peer_speaker is not None:
+                    self._export_dirty.add(peer_speaker)
+                    self._last_sent.pop((peer, router), None)
         return found
 
     def originate(
@@ -123,7 +225,10 @@ class BgpNetwork:
         """All prefixes of the given type originated inside ``domain``."""
         found: List[Prefix] = []
         for router in domain.routers.values():
-            for route in self.speaker(router).origins():
+            speaker = self.speakers.get(router)
+            if speaker is None:
+                continue
+            for route in speaker.origins():
                 if route.route_type is route_type:
                     found.append(route.prefix)
         return sorted(set(found))
@@ -156,13 +261,29 @@ class BgpNetwork:
         """
         key = frozenset((a, b))
         if up:
+            if key not in self._down_sessions:
+                return
             self._down_sessions.discard(key)
+            # Both ends must re-send their full sets on revival.
+            self._forget_session(a, b)
+            for router in (a, b):
+                speaker = self.speaker(router)
+                self._dirty.add(speaker)
+                self._export_dirty.add(speaker)
             return
         if key in self._down_sessions:
             return
         self._down_sessions.add(key)
         self.speaker(a).drop_session(b)
         self.speaker(b).drop_session(a)
+        self._forget_session(a, b)
+
+    def _forget_session(self, a: BorderRouter, b: BorderRouter) -> None:
+        """Drop the last-sent cache for both directions of a session —
+        whatever crossed it before the state transition no longer
+        reflects what the other side holds."""
+        self._last_sent.pop((a, b), None)
+        self._last_sent.pop((b, a), None)
 
     def fail_router(self, router: BorderRouter) -> None:
         """Crash a border router: every peer withdraws the routes it
@@ -175,11 +296,26 @@ class BgpNetwork:
             if speaker.router != router:
                 speaker.drop_session(router)
         self.speaker(router).reset()
+        stale = [key for key in self._last_sent if router in key]
+        for key in stale:
+            del self._last_sent[key]
 
     def restore_router(self, router: BorderRouter) -> None:
         """Restart a crashed router; the next :meth:`converge` rebuilds
         its sessions and re-announces its origins."""
+        if router not in self._down_routers:
+            return
         self._down_routers.discard(router)
+        speaker = self.speaker(router)
+        self._dirty.add(speaker)
+        self._export_dirty.add(speaker)
+        # Neighbors must re-send everything the crash wiped out.
+        for peer in list(router.external_neighbors) + list(
+            router.internal_peers()
+        ):
+            peer_speaker = self.speakers.get(peer)
+            if peer_speaker is not None:
+                self._export_dirty.add(peer_speaker)
 
     def down_routers(self) -> List[BorderRouter]:
         """Currently crashed routers (sorted for determinism)."""
@@ -210,58 +346,104 @@ class BgpNetwork:
         """Run synchronous update rounds, reporting rather than raising
         on a budget overrun.
 
-        Each round: every live speaker recomputes its Loc-RIB, then
-        every up directed session carries the exporter's full filtered
-        advertisement set (wholesale Adj-RIB-In replacement models
-        implicit withdrawal). Crashed routers and down sessions carry
+        Each round: the exporting speakers compute their per-session
+        advertisement sets, every *changed* set is delivered (wholesale
+        Adj-RIB-In replacement models implicit withdrawal; an unchanged
+        or never-sent-and-empty set is suppressed and not counted in
+        :attr:`updates_sent`), then the affected speakers rerun the
+        decision process. Crashed routers and down sessions carry
         nothing — their routes were withdrawn when the fault hit.
+
+        The incremental engine seeds the exporter set from the dirty
+        sets fed by speaker mutation hooks and thereafter from the
+        speakers whose Loc-RIBs changed in the previous round; the full
+        engine exports from everyone every round. A speaker whose
+        inputs did not change recomputes to an identical Loc-RIB and
+        exports identical (suppressed) sets, so both engines walk the
+        same sequence of delivered updates, changed Loc-RIBs, and
+        rounds.
         """
         ordered = [
             self.speakers[r]
             for r in self._ordered_routers()
             if self.router_up(r)
         ]
+        rank = {speaker: index for index, speaker in enumerate(ordered)}
+        incremental = self.incremental
         tracer = self.tracer
-        with tracer.span(
-            "bgp.converge", layer="bgp", speakers=len(ordered)
-        ) as span:
-            for speaker in ordered:
-                speaker.recompute()
-            for round_index in range(1, max_rounds + 1):
-                round_updates = 0
-                exports = [
-                    (speaker, self._session_exports(speaker))
-                    for speaker in ordered
-                ]
-                for speaker, per_peer in exports:
-                    for peer, routes in per_peer.items():
-                        if peer.domain != speaker.domain:
-                            routes = self._localize(peer.domain,
-                                                    speaker.domain,
-                                                    routes)
-                        self.speakers[peer].replace_session_routes(
-                            speaker.router, routes
+        self._muted = True
+        try:
+            with tracer.span(
+                "bgp.converge", layer="bgp", speakers=len(ordered)
+            ) as span:
+                if incremental:
+                    exporters = [
+                        s for s in ordered if s in self._export_dirty
+                    ]
+                    self._export_dirty.difference_update(exporters)
+                    for speaker in exporters:
+                        if speaker in self._dirty:
+                            speaker.recompute()
+                            self._dirty.discard(speaker)
+                else:
+                    for speaker in ordered:
+                        speaker.recompute()
+                    exporters = ordered
+                for round_index in range(1, max_rounds + 1):
+                    round_updates = 0
+                    receivers: Set[BgpSpeaker] = set()
+                    for speaker in exporters:
+                        per_peer = self._session_exports(speaker)
+                        for peer, routes in per_peer.items():
+                            if peer.domain != speaker.domain:
+                                routes = self._localize(peer.domain,
+                                                        speaker.domain,
+                                                        routes)
+                            key = (speaker.router, peer)
+                            if routes == self._last_sent.get(
+                                key, _NOTHING_SENT
+                            ):
+                                continue
+                            self._last_sent[key] = routes
+                            receiver = self.speakers[peer]
+                            receiver.replace_session_routes(
+                                speaker.router, routes
+                            )
+                            receivers.add(receiver)
+                            round_updates += 1
+                    self.updates_sent += round_updates
+                    recompute = (
+                        sorted(receivers, key=rank.__getitem__)
+                        if incremental
+                        else ordered
+                    )
+                    changed = [
+                        speaker
+                        for speaker in recompute
+                        if speaker.recompute()
+                    ]
+                    if tracer.enabled:
+                        span.event(
+                            "round",
+                            index=round_index,
+                            updates=round_updates,
+                            changed=bool(changed),
                         )
-                        round_updates += 1
-                self.updates_sent += round_updates
-                changed = False
-                for speaker in ordered:
-                    if speaker.recompute():
-                        changed = True
-                if tracer.enabled:
-                    span.event(
-                        "round",
-                        index=round_index,
-                        updates=round_updates,
-                        changed=changed,
-                    )
-                if not changed:
-                    span.finish(
-                        status="converged", rounds=round_index
-                    )
-                    return ConvergenceResult(True, round_index)
-            span.finish(status="budget-exhausted", rounds=max_rounds)
-            return ConvergenceResult(False, max_rounds)
+                    if not changed:
+                        span.finish(
+                            status="converged", rounds=round_index
+                        )
+                        return ConvergenceResult(True, round_index)
+                    exporters = changed if incremental else ordered
+                if incremental:
+                    # Budget exhausted mid-flight: remember who still
+                    # has unexported changes so the next attempt
+                    # resumes instead of silently dropping them.
+                    self._export_dirty.update(exporters)
+                span.finish(status="budget-exhausted", rounds=max_rounds)
+                return ConvergenceResult(False, max_rounds)
+        finally:
+            self._muted = False
 
     def _ordered_routers(self) -> List[BorderRouter]:
         ordered: List[BorderRouter] = []
@@ -326,10 +508,18 @@ class BgpNetwork:
     def _own_prefixes_by_type(
         self, domain: Domain
     ) -> Dict[RouteType, List[Prefix]]:
-        found: Dict[RouteType, List[Prefix]] = {}
-        for router in domain.routers.values():
-            for route in self.speaker(router).origins():
-                found.setdefault(route.route_type, []).append(route.prefix)
+        found = self._own_prefix_cache.get(domain)
+        if found is None:
+            found = {}
+            for router in domain.routers.values():
+                speaker = self.speakers.get(router)
+                if speaker is None:
+                    continue
+                for route in speaker.origins():
+                    found.setdefault(
+                        route.route_type, []
+                    ).append(route.prefix)
+            self._own_prefix_cache[domain] = found
         return found
 
     def _covered_by_own(
@@ -395,14 +585,55 @@ class BgpNetwork:
 
     def root_domain_of(self, group_address: int) -> Optional[Domain]:
         """The domain originating the most specific group route covering
-        the address, network-wide (the group's root domain)."""
-        best: Optional[Tuple[int, Domain]] = None
-        for speaker in self.speakers.values():
-            for route in speaker.origins():
-                if route.route_type is not RouteType.GROUP:
-                    continue
-                if route.prefix.contains_address(group_address):
-                    entry = (route.prefix.length, speaker.domain)
-                    if best is None or entry[0] > best[0]:
-                        best = entry
-        return best[1] if best else None
+        the address, network-wide (the group's root domain).
+
+        Served from a lazily-built longest-match index over every
+        speaker's GROUP origins, invalidated whenever any origin set
+        changes. First origination wins for a prefix claimed by
+        several speakers, matching the strictly-longer comparison the
+        index replaced (distinct equal-length prefixes never both
+        cover one address).
+        """
+        index = self._origin_index
+        if index is None:
+            index = LpmTrie()
+            for speaker in self.speakers.values():
+                for route in speaker.origins():
+                    if route.route_type is not RouteType.GROUP:
+                        continue
+                    if route.prefix not in index:
+                        index.insert(route.prefix, speaker.domain)
+            self._origin_index = index
+        return index.lookup(group_address)
+
+    # ------------------------------------------------------------------
+    # Fingerprints
+
+    def rib_digest(self) -> str:
+        """SHA-256 over every live Loc-RIB in canonical order — the
+        fingerprint the equivalence tests compare across engines."""
+        digest = hashlib.sha256()
+        for router in self._ordered_routers():
+            speaker = self.speakers[router]
+            digest.update(
+                f"@{router.domain.domain_id}/{router.name}".encode()
+            )
+            for route in speaker.loc_rib.routes():
+                hop = route.next_hop
+                hop_label = (
+                    f"{hop.domain.domain_id}/{hop.name}" if hop else "-"
+                )
+                digest.update(
+                    "|".join(
+                        (
+                            str(route.prefix),
+                            route.route_type.value,
+                            hop_label,
+                            ",".join(map(str, route.as_path)),
+                            str(route.local_pref),
+                            str(route.from_internal),
+                            str(route.learned_from),
+                        )
+                    ).encode()
+                )
+        return digest.hexdigest()

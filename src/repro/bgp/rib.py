@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.addressing.prefix import Prefix
+from repro.addressing.trie import LpmTrie
 from repro.bgp.routes import Route, RouteType
 from repro.topology.domain import BorderRouter
 
@@ -48,31 +49,52 @@ class AdjRibIn:
 
 
 class LocRib:
-    """Selected best routes, one per (type, prefix)."""
+    """Selected best routes, one per (type, prefix).
+
+    Longest-match lookups go through a per-type :class:`LpmTrie` index
+    built lazily on first use and invalidated by any mutation, so the
+    steady state (many lookups between decision rounds) pays O(32) per
+    lookup instead of a scan over the whole table.
+    """
 
     def __init__(self) -> None:
         self._routes: Dict[Tuple[RouteType, Prefix], Route] = {}
+        self._lpm: Dict[RouteType, LpmTrie] = {}
 
     def install(self, route: Route) -> None:
         """Install the winning route for its (type, prefix)."""
         self._routes[route.key()] = route
+        self._lpm.pop(route.route_type, None)
 
     def remove(self, route_type: RouteType, prefix: Prefix) -> bool:
         """Drop the entry; True if one was present."""
-        return self._routes.pop((route_type, prefix), None) is not None
+        if self._routes.pop((route_type, prefix), None) is None:
+            return False
+        self._lpm.pop(route_type, None)
+        return True
+
+    def replace(self, routes: Dict[Tuple[RouteType, Prefix], Route]) -> bool:
+        """Swap in a freshly-selected table; True when the contents
+        changed (the comparison the decision process reports)."""
+        if routes == self._routes:
+            return False
+        self._routes = dict(routes)
+        self._lpm.clear()
+        return True
 
     def get(self, route_type: RouteType, prefix: Prefix) -> Optional[Route]:
         """Exact-prefix lookup."""
         return self._routes.get((route_type, prefix))
 
     def routes(self, route_type: Optional[RouteType] = None) -> List[Route]:
-        """All routes, optionally filtered by type, sorted by prefix."""
+        """All routes, optionally filtered by type, in canonical
+        (prefix, type) order — independent of insertion history."""
         found = [
             route
             for route in self._routes.values()
             if route_type is None or route.route_type is route_type
         ]
-        return sorted(found, key=lambda r: r.prefix)
+        return sorted(found, key=lambda r: (r.prefix, r.route_type.value))
 
     def group_routes(self) -> List[Route]:
         """The G-RIB: all group routes, sorted by prefix."""
@@ -80,14 +102,14 @@ class LocRib:
 
     def lookup(self, route_type: RouteType, address: int) -> Optional[Route]:
         """Longest-prefix-match lookup for an address."""
-        best: Optional[Route] = None
-        for (kind, prefix), route in self._routes.items():
-            if kind is not route_type:
-                continue
-            if prefix.contains_address(address):
-                if best is None or prefix.length > best.prefix.length:
-                    best = route
-        return best
+        index = self._lpm.get(route_type)
+        if index is None:
+            index = LpmTrie()
+            for (kind, prefix), route in self._routes.items():
+                if kind is route_type:
+                    index.insert(prefix, route)
+            self._lpm[route_type] = index
+        return index.lookup(address)
 
     def grib_lookup(self, group_address: int) -> Optional[Route]:
         """Longest-match group-route lookup — the operation BGMP
@@ -100,6 +122,7 @@ class LocRib:
     def clear(self) -> None:
         """Drop everything (used when recomputing from scratch)."""
         self._routes.clear()
+        self._lpm.clear()
 
     def snapshot(self) -> Dict[Tuple[RouteType, Prefix], Route]:
         """A copy of the table (used by convergence checks)."""

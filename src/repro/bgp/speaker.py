@@ -26,6 +26,20 @@ class BgpSpeaker:
         self.loc_rib = LocRib()
         self._origins: Dict[Tuple[RouteType, Prefix], Route] = {}
         self._adj_in: Dict[BorderRouter, AdjRibIn] = {}
+        #: Change listener (set by :class:`~repro.bgp.network.BgpNetwork`
+        #: to drive its dirty sets): an object with ``speaker_dirty``
+        #: and ``origins_changed`` methods, called whenever this
+        #: speaker's decision inputs mutate. ``None`` for standalone
+        #: speakers.
+        self._listener = None
+
+    def _mark_dirty(self) -> None:
+        if self._listener is not None:
+            self._listener.speaker_dirty(self)
+
+    def _mark_origins_changed(self) -> None:
+        if self._listener is not None:
+            self._listener.origins_changed(self)
 
     @property
     def domain(self):
@@ -51,7 +65,10 @@ class BgpSpeaker:
         """Tear down the session with ``peer``: every route learned
         from it is withdrawn (the Adj-RIB-In vanishes). True when a
         session existed."""
-        return self._adj_in.pop(peer, None) is not None
+        if self._adj_in.pop(peer, None) is None:
+            return False
+        self._mark_dirty()
+        return True
 
     def reset(self) -> None:
         """Crash recovery model: volatile state (Adj-RIB-Ins, Loc-RIB)
@@ -59,6 +76,7 @@ class BgpSpeaker:
         is re-announced on the next decision round."""
         self._adj_in.clear()
         self.loc_rib.clear()
+        self._mark_dirty()
 
     # ------------------------------------------------------------------
     # Origination
@@ -75,13 +93,19 @@ class BgpSpeaker:
             local_pref=preference_for("origin"),
         )
         self._origins[route.key()] = route
+        self._mark_dirty()
+        self._mark_origins_changed()
         return route
 
     def withdraw_origin(
         self, prefix: Prefix, route_type: RouteType = RouteType.GROUP
     ) -> bool:
         """Stop originating a route; True if it was originated here."""
-        return self._origins.pop((route_type, prefix), None) is not None
+        if self._origins.pop((route_type, prefix), None) is None:
+            return False
+        self._mark_dirty()
+        self._mark_origins_changed()
+        return True
 
     def origins(self) -> List[Route]:
         """All locally-originated routes."""
@@ -97,6 +121,7 @@ class BgpSpeaker:
         ):
             return
         self.session_with(peer).update(route)
+        self._mark_dirty()
 
     def replace_session_routes(
         self, peer: BorderRouter, routes: List[Route]
@@ -115,6 +140,7 @@ class BgpSpeaker:
             ):
                 continue
             rib.update(route)
+        self._mark_dirty()
 
     def recompute(self) -> bool:
         """Run the decision process; True if the Loc-RIB changed.
@@ -124,17 +150,17 @@ class BgpSpeaker:
         lowest (domain id, router name) of the advertising router for a
         deterministic tie-break.
         """
-        before = self.loc_rib.snapshot()
         candidates: Dict[Tuple[RouteType, Prefix], List[Route]] = {}
         for route in self._origins.values():
             candidates.setdefault(route.key(), []).append(route)
         for rib in self._adj_in.values():
             for route in rib.routes():
                 candidates.setdefault(route.key(), []).append(route)
-        self.loc_rib.clear()
-        for key, routes in candidates.items():
-            self.loc_rib.install(min(routes, key=self._rank))
-        return self.loc_rib.snapshot() != before
+        selected = {
+            key: min(routes, key=self._rank)
+            for key, routes in candidates.items()
+        }
+        return self.loc_rib.replace(selected)
 
     def _rank(self, route: Route) -> Tuple:
         if route.is_local_origin:

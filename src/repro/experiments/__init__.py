@@ -11,14 +11,30 @@ One module per figure:
 
 Each driver returns structured results and can render the series as a
 text table; the ``benchmarks/`` suite wires them into pytest-benchmark.
+Multi-seed sweeps (``run_figure2_seeds`` / ``run_figure4_seeds``) fan
+out over :mod:`repro.experiments.runner` with a deterministic merge,
+and :mod:`repro.experiments.bench` holds the standing perf workloads
+behind ``python -m repro bench`` and the CI perf job.
 """
 
-from repro.experiments.fig2 import Figure2Result, run_figure2
-from repro.experiments.fig4 import Figure4Result, run_figure4
+from repro.experiments.fig2 import (
+    Figure2Result,
+    run_figure2,
+    run_figure2_seeds,
+)
+from repro.experiments.fig4 import (
+    Figure4Result,
+    run_figure4,
+    run_figure4_seeds,
+)
+from repro.experiments.runner import parallel_map
 
 __all__ = [
     "Figure2Result",
     "run_figure2",
+    "run_figure2_seeds",
     "Figure4Result",
     "run_figure4",
+    "run_figure4_seeds",
+    "parallel_map",
 ]

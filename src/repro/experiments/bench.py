@@ -1,0 +1,287 @@
+"""Benchmark workloads behind ``python -m repro bench`` and CI.
+
+Two measurements:
+
+- :func:`run_convergence_bench` — the fig2-style steady-state BGP
+  churn workload on a 100+-domain AS graph, run once on the full
+  engine and once on the incremental engine
+  (:class:`~repro.bgp.network.BgpNetwork`). It checks byte-identical
+  fingerprints (Loc-RIB digests, per-converge round counts, UPDATE
+  totals) across every seed *and* reports the wall-clock speedup —
+  the acceptance number recorded in ``BENCH_convergence.json``.
+- :func:`run_fig4_sweep_bench` — the multi-seed Figure 4 sweep, run
+  serially and through the parallel runner, checking the result
+  tables match and reporting the fan-out speedup.
+
+Wall-clock timing is inherently nondeterministic; the timings stay in
+bench artifacts and never feed simulation state.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.addressing.prefix import Prefix
+from repro.bgp.network import BgpNetwork
+from repro.bgp.routes import RouteType
+from repro.experiments.fig4 import Figure4Config, run_figure4_seeds
+from repro.topology.generators import as_graph
+from repro.topology.network import Topology
+
+
+def _wall() -> float:
+    return time.perf_counter()  # lint: disable=DET002 — bench wall-clock timing; recorded in bench artifacts only, never in simulation state
+
+
+@dataclass
+class ConvergenceBenchConfig:
+    """The steady-state churn workload: ``domains`` ASes, an initial
+    full convergence, then ``flaps`` withdraw/re-originate cycles of
+    randomly chosen domains' group ranges with ``idle_converges``
+    no-change converge calls after each (the call pattern of the MASC
+    layer, which converges after every claim event)."""
+
+    domains: int = 100
+    flaps: int = 3
+    idle_converges: int = 2
+    seeds: Tuple[int, ...] = (0, 1, 2, 3, 4)
+
+
+@dataclass
+class EngineRun:
+    """One engine's run over one seed's workload."""
+
+    seconds: float
+    rounds: List[int]
+    updates_sent: int
+    digest: str
+
+    def fingerprint(self) -> Tuple:
+        """Everything that must match across engines (not the time)."""
+        return (tuple(self.rounds), self.updates_sent, self.digest)
+
+
+@dataclass
+class ConvergenceBenchResult:
+    config: ConvergenceBenchConfig
+    #: Per seed: engine name -> run.
+    per_seed: Dict[int, Dict[str, EngineRun]] = field(default_factory=dict)
+
+    @property
+    def full_seconds(self) -> float:
+        return sum(runs["full"].seconds for runs in self.per_seed.values())
+
+    @property
+    def incremental_seconds(self) -> float:
+        return sum(
+            runs["incremental"].seconds for runs in self.per_seed.values()
+        )
+
+    @property
+    def speedup(self) -> float:
+        """Full-engine wall-clock over incremental-engine wall-clock."""
+        return self.full_seconds / max(self.incremental_seconds, 1e-9)
+
+    @property
+    def identical(self) -> bool:
+        """True when both engines produced byte-identical fingerprints
+        (round counts, update totals, Loc-RIB digests) on every seed."""
+        return all(
+            runs["full"].fingerprint()
+            == runs["incremental"].fingerprint()
+            for runs in self.per_seed.values()
+        )
+
+    def rows(self) -> List[Sequence]:
+        """Per-seed table rows for :func:`~repro.analysis.report.format_table`."""
+        out: List[Sequence] = []
+        for seed in sorted(self.per_seed):
+            runs = self.per_seed[seed]
+            full, inc = runs["full"], runs["incremental"]
+            out.append(
+                (
+                    seed,
+                    full.seconds,
+                    inc.seconds,
+                    full.seconds / max(inc.seconds, 1e-9),
+                    "yes" if full.fingerprint() == inc.fingerprint()
+                    else "NO",
+                )
+            )
+        return out
+
+
+def _group_prefix(domain_id: int) -> Prefix:
+    """A /20 out of 224/4 per domain (disjoint for ids < 2^16)."""
+    return Prefix((224 << 24) | (domain_id << 12), 20)
+
+
+def _unicast_prefix(domain_id: int) -> Prefix:
+    """A /24 out of 10/8 per domain, the BGMP unicast plan."""
+    return Prefix((10 << 24) | (domain_id << 8), 24)
+
+
+def build_workload_topology(
+    seed: int, domains: int
+) -> Topology:
+    """The churn substrate: a route-views-like AS graph."""
+    return as_graph(random.Random(seed), node_count=domains)
+
+
+def run_convergence_workload(
+    topology: Topology,
+    seed: int,
+    flaps: int,
+    idle_converges: int,
+    incremental: bool,
+) -> EngineRun:
+    """Originate per-domain unicast and group ranges, converge, then
+    time the steady-state churn loop on the chosen engine."""
+    bgp = BgpNetwork(topology, incremental=incremental)
+    for domain in topology.domains:
+        bgp.originate_from_domain(
+            domain, _unicast_prefix(domain.domain_id), RouteType.UNICAST
+        )
+        bgp.originate_from_domain(
+            domain, _group_prefix(domain.domain_id), RouteType.GROUP
+        )
+    bgp.converge(max_rounds=500)
+    rng = random.Random(seed)
+    flapped = [
+        topology.domains[rng.randrange(len(topology.domains))]
+        for _ in range(flaps)
+    ]
+    rounds: List[int] = []
+    updates_before = bgp.updates_sent
+    started = _wall()
+    for domain in flapped:
+        prefix = _group_prefix(domain.domain_id)
+        bgp.withdraw(domain.router(), prefix, RouteType.GROUP)
+        rounds.append(bgp.converge(max_rounds=500))
+        bgp.originate_from_domain(domain, prefix, RouteType.GROUP)
+        rounds.append(bgp.converge(max_rounds=500))
+        for _ in range(idle_converges):
+            rounds.append(bgp.converge(max_rounds=500))
+    seconds = _wall() - started
+    return EngineRun(
+        seconds=seconds,
+        rounds=rounds,
+        updates_sent=bgp.updates_sent - updates_before,
+        digest=bgp.rib_digest(),
+    )
+
+
+def run_convergence_bench(
+    config: Optional[ConvergenceBenchConfig] = None,
+) -> ConvergenceBenchResult:
+    """The full incremental-vs-full comparison across all seeds."""
+    if config is None:
+        config = ConvergenceBenchConfig()
+    result = ConvergenceBenchResult(config=config)
+    for seed in config.seeds:
+        topology = build_workload_topology(seed, config.domains)
+        runs: Dict[str, EngineRun] = {}
+        for name, incremental in (("full", False), ("incremental", True)):
+            runs[name] = run_convergence_workload(
+                topology,
+                seed,
+                config.flaps,
+                config.idle_converges,
+                incremental,
+            )
+        result.per_seed[seed] = runs
+    return result
+
+
+@dataclass
+class Fig4SweepBenchResult:
+    """Serial vs parallel multi-seed fig4 sweep."""
+
+    seeds: Tuple[int, ...]
+    serial_seconds: float
+    parallel_seconds: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / max(self.parallel_seconds, 1e-9)
+
+
+def run_fig4_sweep_bench(
+    seeds: Tuple[int, ...] = (0, 1, 2, 3),
+    node_count: int = 400,
+    trials_per_size: int = 2,
+) -> Fig4SweepBenchResult:
+    """Time the fig4 seed sweep serially and through the parallel
+    runner, and check the merged tables match exactly."""
+    config = Figure4Config(
+        node_count=node_count, trials_per_size=trials_per_size
+    )
+    started = _wall()
+    serial = run_figure4_seeds(seeds, config=config, processes=1)
+    serial_seconds = _wall() - started
+    started = _wall()
+    parallel = run_figure4_seeds(seeds, config=config)
+    parallel_seconds = _wall() - started
+    identical = [r.table() for r in serial] == [
+        r.table() for r in parallel
+    ]
+    return Fig4SweepBenchResult(
+        seeds=tuple(seeds),
+        serial_seconds=serial_seconds,
+        parallel_seconds=parallel_seconds,
+        identical=identical,
+    )
+
+
+def write_convergence_report(
+    result: ConvergenceBenchResult,
+    path: Path,
+    fig4: Optional[Fig4SweepBenchResult] = None,
+) -> Dict:
+    """Serialize the bench outcome to ``BENCH_convergence.json``.
+
+    The *baseline* is the full-recompute engine the repo seeded with;
+    ``speedup`` is the number the acceptance gate (>=3x, CI failing
+    below 2.4 = 3x minus the 20% regression budget) reads.
+    """
+    payload: Dict = {
+        "bench": "fig2-steady-state-convergence",
+        "domains": result.config.domains,
+        "flaps": result.config.flaps,
+        "idle_converges": result.config.idle_converges,
+        "seeds": list(result.config.seeds),
+        "baseline_engine": "full-recompute (seed)",
+        "baseline_seconds": round(result.full_seconds, 6),
+        "incremental_seconds": round(result.incremental_seconds, 6),
+        "speedup": round(result.speedup, 3),
+        "identical_fingerprints": result.identical,
+        "per_seed": {
+            str(seed): {
+                name: {
+                    "seconds": round(run.seconds, 6),
+                    "converge_calls": len(run.rounds),
+                    "total_rounds": sum(run.rounds),
+                    "updates_sent": run.updates_sent,
+                    "rib_digest": run.digest,
+                }
+                for name, run in runs.items()
+            }
+            for seed, runs in result.per_seed.items()
+        },
+    }
+    if fig4 is not None:
+        payload["fig4_sweep"] = {
+            "seeds": list(fig4.seeds),
+            "serial_seconds": round(fig4.serial_seconds, 6),
+            "parallel_seconds": round(fig4.parallel_seconds, 6),
+            "speedup": round(fig4.speedup, 3),
+            "identical_tables": fig4.identical,
+        }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

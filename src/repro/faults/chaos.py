@@ -299,6 +299,19 @@ class ChaosHarness:
             metrics=metrics,
         )
 
-    def run_many(self, seeds: Sequence[int]) -> List[ChaosResult]:
-        """One run per seed."""
-        return [self.run(seed) for seed in seeds]
+    def run_many(
+        self,
+        seeds: Sequence[int],
+        processes: Optional[int] = None,
+    ) -> List[ChaosResult]:
+        """One run per seed, in seed order.
+
+        Runs are seed-deterministic and independent, so they fan out
+        over the parallel runner (:mod:`repro.experiments.runner`);
+        the merged list is identical to a serial loop. The runner
+        falls back to serial when the scenario factory or the results
+        cannot cross a process boundary. ``processes=1`` forces
+        serial."""
+        from repro.experiments.runner import parallel_map
+
+        return parallel_map(self.run, seeds, processes=processes)

@@ -37,13 +37,17 @@ FIGURE3_CANDIDATES = (
 )
 
 
-def figure3_chaos_scenario() -> ChaosScenario:
+def figure3_chaos_scenario(incremental: bool = True) -> ChaosScenario:
     """Figure 3 internetwork with members in F and H plus a MASC tree
     (parent MP, siblings M1/M2) on the same clock — every candidate
-    fault is survivable by design."""
+    fault is survivable by design.
+
+    ``incremental`` selects the BGP convergence engine; the
+    equivalence tests run the same schedules on both and compare
+    fingerprints."""
     sim = Simulator()
     topology = paper_figure3_topology()
-    network = BgmpNetwork(topology)
+    network = BgmpNetwork(topology, incremental=incremental)
     network.originate_group_range(
         topology.domain("A"), Prefix.parse("224.0.0.0/16")
     )

@@ -63,6 +63,12 @@ class Simulator:
         self._processed = 0
         self._cancelled_pending = 0
         self._observers: List[Callable[[Event], None]] = []
+        #: Immutable snapshot iterated by :meth:`_notify`. Refreshed
+        #: only when the observer list mutates, so the hot loop never
+        #: copies the list per executed event while an observer that
+        #: unregisters itself (or a sibling) mid-notification still
+        #: sees a stable iteration.
+        self._observer_snapshot: Tuple[Callable[[Event], None], ...] = ()
         self._profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
@@ -80,14 +86,16 @@ class Simulator:
         """
         if observer not in self._observers:
             self._observers.append(observer)
+            self._observer_snapshot = tuple(self._observers)
 
     def remove_observer(self, observer: Callable[[Event], None]) -> None:
         """Unregister an observer (no-op when absent)."""
         if observer in self._observers:
             self._observers.remove(observer)
+            self._observer_snapshot = tuple(self._observers)
 
     def _notify(self, event: Event) -> None:
-        for observer in list(self._observers):
+        for observer in self._observer_snapshot:
             observer(event)
 
     def _note_cancelled(self) -> None:

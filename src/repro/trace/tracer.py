@@ -35,6 +35,20 @@ def _zero_clock() -> float:
     return 0.0
 
 
+class _SimClock:
+    """A picklable ``sim.now`` reader (a lambda closure would make any
+    tracer bound to a simulator refuse to cross process boundaries in
+    the parallel experiment runner)."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+
+    def __call__(self) -> float:
+        return self._sim.now
+
+
 class SpanEvent:
     """A point-in-time annotation inside a span."""
 
@@ -185,7 +199,7 @@ class Tracer:
 
     def bind_clock(self, sim) -> "Tracer":
         """Read time from ``sim.now`` from here on; returns self."""
-        self._clock = lambda: sim.now
+        self._clock = _SimClock(sim)
         return self
 
     def now(self) -> float:

@@ -1,0 +1,242 @@
+"""Full-vs-incremental convergence engine equivalence.
+
+The incremental dirty-set engine is an optimization, not a semantic
+change: on identical inputs it must walk the same rounds, deliver the
+same UPDATEs, and land every Loc-RIB on identical contents as the
+full-recompute engine (``BgpNetwork(incremental=False)``). These
+tests drive both engines through churn workloads, fault sequences,
+the fig2/fig4 experiments, and every chaos scenario schedule, and
+compare fingerprints byte for byte.
+"""
+
+import functools
+import random
+
+from repro.addressing.prefix import Prefix
+from repro.bgp.network import BgpNetwork
+from repro.bgp.routes import RouteType
+from repro.bgmp.network import BgmpNetwork
+from repro.experiments.bench import (
+    _group_prefix,
+    build_workload_topology,
+    run_convergence_workload,
+)
+from repro.faults.chaos import ChaosHarness
+from repro.faults.scenarios import figure3_chaos_scenario
+from repro.topology.generators import (
+    as_graph,
+    paper_figure3_topology,
+)
+from repro.trace.tracer import Tracer
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def _engines(topology_builder):
+    """A (full, incremental) engine pair over identical topologies."""
+    return (
+        BgpNetwork(topology_builder(), incremental=False),
+        BgpNetwork(topology_builder(), incremental=True),
+    )
+
+
+class TestChurnWorkloadEquivalence:
+    def test_bench_workload_fingerprints_match_across_seeds(self):
+        for seed in SEEDS:
+            topology = build_workload_topology(seed, domains=24)
+            runs = {
+                incremental: run_convergence_workload(
+                    topology,
+                    seed,
+                    flaps=3,
+                    idle_converges=1,
+                    incremental=incremental,
+                )
+                for incremental in (False, True)
+            }
+            assert (
+                runs[False].fingerprint() == runs[True].fingerprint()
+            ), f"engines diverged on seed {seed}"
+            assert runs[False].rounds, "workload ran no converges"
+
+    def test_updates_and_rounds_match_per_converge(self):
+        def build():
+            return as_graph(random.Random(7), node_count=25)
+
+        full, inc = _engines(build)
+        for engine in (full, inc):
+            for domain in engine.topology.domains:
+                engine.originate_from_domain(
+                    domain,
+                    _group_prefix(domain.domain_id),
+                    RouteType.GROUP,
+                )
+        rng = random.Random(11)
+        for step in range(6):
+            domain_index = rng.randrange(len(full.topology.domains))
+            results = []
+            for engine in (full, inc):
+                domain = engine.topology.domains[domain_index]
+                prefix = _group_prefix(domain.domain_id)
+                engine.withdraw(domain.router(), prefix, RouteType.GROUP)
+                results.append(
+                    (engine.try_converge(), engine.updates_sent)
+                )
+                engine.originate_from_domain(
+                    domain, prefix, RouteType.GROUP
+                )
+                results[-1] += (
+                    engine.try_converge(),
+                    engine.updates_sent,
+                )
+            assert results[0] == results[1], f"diverged at step {step}"
+        assert full.rib_digest() == inc.rib_digest()
+
+
+class TestFaultSequenceEquivalence:
+    def _seeded_pair(self):
+        full, inc = _engines(paper_figure3_topology)
+        for engine in (full, inc):
+            engine.originate_from_domain(
+                engine.topology.domain("A"),
+                Prefix.parse("224.0.0.0/16"),
+                RouteType.GROUP,
+            )
+            engine.originate_from_domain(
+                engine.topology.domain("F"),
+                Prefix.parse("224.0.128.0/20"),
+                RouteType.GROUP,
+            )
+            engine.converge()
+        return full, inc
+
+    def test_session_flap_router_crash_and_restore(self):
+        full, inc = _engines(paper_figure3_topology)
+        for engine in (full, inc):
+            engine.originate_from_domain(
+                engine.topology.domain("A"),
+                Prefix.parse("224.0.0.0/16"),
+                RouteType.GROUP,
+            )
+            engine.converge()
+        trail = []
+        for engine in (full, inc):
+            topology = engine.topology
+            f1 = topology.domain("F").routers["F1"]
+            b2 = topology.domain("B").routers["B2"]
+            h1 = topology.domain("H").routers["H1"]
+            steps = []
+            engine.set_session_state(f1, b2, up=False)
+            steps.append((engine.try_converge(), engine.updates_sent))
+            engine.set_session_state(f1, b2, up=True)
+            steps.append((engine.try_converge(), engine.updates_sent))
+            engine.fail_router(h1)
+            steps.append((engine.try_converge(), engine.updates_sent))
+            engine.restore_router(h1)
+            steps.append((engine.try_converge(), engine.updates_sent))
+            steps.append(engine.rib_digest())
+            trail.append(steps)
+        assert trail[0] == trail[1]
+
+    def test_idempotent_fault_calls_do_not_diverge(self):
+        full, inc = self._seeded_pair()
+        trail = []
+        for engine in (full, inc):
+            topology = engine.topology
+            h2 = topology.domain("H").routers["H2"]
+            c2 = topology.domain("C").routers["C2"]
+            # Redundant transitions must be no-ops on both engines.
+            engine.set_session_state(h2, c2, up=True)
+            engine.restore_router(h2)
+            steps = [(engine.try_converge(), engine.updates_sent)]
+            engine.set_session_state(h2, c2, up=False)
+            engine.set_session_state(h2, c2, up=False)
+            steps.append((engine.try_converge(), engine.updates_sent))
+            engine.fail_router(h2)
+            engine.fail_router(h2)
+            steps.append((engine.try_converge(), engine.updates_sent))
+            engine.restore_router(h2)
+            engine.set_session_state(h2, c2, up=True)
+            steps.append((engine.try_converge(), engine.updates_sent))
+            steps.append(engine.rib_digest())
+            trail.append(steps)
+        assert trail[0] == trail[1]
+
+
+class TestTraceEquivalence:
+    def test_converge_spans_match_round_for_round(self):
+        fingerprints = []
+        for incremental in (False, True):
+            engine = BgpNetwork(
+                paper_figure3_topology(), incremental=incremental
+            )
+            tracer = Tracer()
+            engine.tracer = tracer
+            engine.originate_from_domain(
+                engine.topology.domain("A"),
+                Prefix.parse("224.0.0.0/16"),
+                RouteType.GROUP,
+            )
+            engine.converge()
+            engine.converge()  # steady-state no-op converge
+            spans = tracer.spans_named("bgp.converge")
+            fingerprints.append(
+                [
+                    (
+                        span.status,
+                        span.attrs.get("rounds"),
+                        [
+                            (e.name, dict(e.attrs))
+                            for e in span.events
+                        ],
+                    )
+                    for span in spans
+                ]
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+
+class TestChaosScenarioEquivalence:
+    def test_chaos_schedules_byte_identical_across_engines(self):
+        results = {}
+        for incremental in (False, True):
+            factory = functools.partial(
+                figure3_chaos_scenario, incremental=incremental
+            )
+            harness = ChaosHarness(factory, n_faults=2, sanitize=True)
+            results[incremental] = [
+                harness.run(seed) for seed in range(3)
+            ]
+        for first, second in zip(results[False], results[True]):
+            assert first.ok and second.ok, (
+                first.violations, second.violations
+            )
+            assert first.schedule == second.schedule
+            assert first.events == second.events
+            assert first.claim_tables == second.claim_tables
+            assert first.claim_tables
+            assert first.forwarding_digest == second.forwarding_digest
+            assert [
+                (r.converged, r.rounds) for r in first.recoveries
+            ] == [(r.converged, r.rounds) for r in second.recoveries]
+
+
+class TestBgmpOverIncremental:
+    def test_forwarding_digest_matches_after_joins(self):
+        digests = []
+        for incremental in (False, True):
+            topology = paper_figure3_topology()
+            network = BgmpNetwork(topology, incremental=incremental)
+            network.originate_group_range(
+                topology.domain("A"), Prefix.parse("224.0.0.0/16")
+            )
+            network.converge()
+            group = 0xE0000101
+            for name in ("F", "H", "G"):
+                assert network.join(
+                    topology.domain(name).host("m"), group
+                )
+            digests.append(
+                (network.forwarding_digest(), network.bgp.rib_digest())
+            )
+        assert digests[0] == digests[1]

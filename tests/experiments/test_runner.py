@@ -1,0 +1,95 @@
+"""The parallel sweep runner: deterministic merge and graceful
+serial fallback, plus the fig2/fig4/chaos sweeps built on it."""
+
+from repro.experiments.fig2 import Figure2Config, run_figure2_seeds
+from repro.experiments.fig4 import Figure4Config, run_figure4_seeds
+from repro.experiments.runner import default_processes, parallel_map
+from repro.faults.chaos import ChaosHarness
+from repro.faults.scenarios import figure3_chaos_scenario
+
+SMALL_FIG2 = Figure2Config(
+    top_count=2, children_per_top=3, duration_days=20.0,
+    transient_days=5.0,
+)
+SMALL_FIG4 = Figure4Config(
+    node_count=80, group_sizes=(2, 10), trials_per_size=1
+)
+
+
+def _cube(value):
+    return value ** 3
+
+
+class TestParallelMap:
+    def test_results_in_input_order(self):
+        items = [5, 1, 4, 2, 3]
+        assert parallel_map(_cube, items, processes=2) == [
+            _cube(i) for i in items
+        ]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(8))
+        assert parallel_map(_cube, items, processes=4) == parallel_map(
+            _cube, items, processes=1
+        )
+
+    def test_empty_items(self):
+        assert parallel_map(_cube, [], processes=4) == []
+
+    def test_single_item_runs_serially(self):
+        assert parallel_map(_cube, [7], processes=8) == [343]
+
+    def test_unpicklable_worker_falls_back_to_serial(self):
+        captured = []
+
+        def closure_worker(value):
+            captured.append(value)
+            return value + 1
+
+        assert parallel_map(closure_worker, [1, 2, 3]) == [2, 3, 4]
+        # Serial fallback ran in this process.
+        assert captured == [1, 2, 3]
+
+    def test_default_processes_bounds(self):
+        assert default_processes(0) == 1
+        assert default_processes(1) == 1
+        assert default_processes(10_000) >= 1
+
+
+class TestSweepDeterminism:
+    def test_fig2_parallel_matches_serial(self):
+        seeds = (0, 1, 2)
+        serial = run_figure2_seeds(seeds, SMALL_FIG2, processes=1)
+        parallel = run_figure2_seeds(seeds, SMALL_FIG2, processes=3)
+        assert [r.config.seed for r in parallel] == list(seeds)
+        assert [r.table() for r in serial] == [
+            r.table() for r in parallel
+        ]
+        assert [r.steady_state() for r in serial] == [
+            r.steady_state() for r in parallel
+        ]
+
+    def test_fig4_parallel_matches_serial(self):
+        seeds = (0, 1, 2)
+        serial = run_figure4_seeds(seeds, SMALL_FIG4, processes=1)
+        parallel = run_figure4_seeds(seeds, SMALL_FIG4, processes=3)
+        assert [r.table() for r in serial] == [
+            r.table() for r in parallel
+        ]
+
+    def test_chaos_run_many_parallel_matches_serial(self):
+        harness = ChaosHarness(
+            figure3_chaos_scenario, n_faults=1, sanitize=True
+        )
+        serial = harness.run_many(range(3), processes=1)
+        parallel = harness.run_many(range(3))
+        assert [r.forwarding_digest for r in serial] == [
+            r.forwarding_digest for r in parallel
+        ]
+        assert [r.schedule for r in serial] == [
+            r.schedule for r in parallel
+        ]
+        assert [r.events for r in serial] == [
+            r.events for r in parallel
+        ]
+        assert all(r.ok for r in parallel)

@@ -255,6 +255,42 @@ class TestObservers:
         sim.run()
         assert seen == [1.0]
 
+    def test_observer_removing_itself_mid_notification(self):
+        # The snapshot iterated by _notify is only refreshed when the
+        # observer list mutates, so an observer unregistering itself
+        # (or a sibling) mid-notification sees a stable iteration:
+        # every observer registered at event time still fires once.
+        sim = Simulator()
+        seen = []
+
+        def one_shot(event):
+            seen.append("one-shot")
+            sim.remove_observer(one_shot)
+
+        sim.add_observer(one_shot)
+        sim.add_observer(lambda event: seen.append("steady"))
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert seen == ["one-shot", "steady", "steady"]
+
+    def test_observer_added_mid_notification_waits_one_event(self):
+        sim = Simulator()
+        seen = []
+        late = lambda event: seen.append("late")  # noqa: E731
+
+        def recruiter(event):
+            seen.append("recruiter")
+            sim.add_observer(late)
+
+        sim.add_observer(recruiter)
+        sim.schedule(1.0, lambda: None)
+        sim.step()
+        assert seen == ["recruiter"]
+        sim.schedule(1.0, lambda: None)
+        sim.step()
+        assert seen == ["recruiter", "recruiter", "late"]
+
     def test_observer_exception_aborts_the_run(self):
         sim = Simulator()
 

@@ -42,6 +42,14 @@ class TestParser:
         args = build_parser().parse_args(["--quiet", "fig2"])
         assert args.quiet
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.domains == 100
+        assert args.flaps == 3
+        assert args.seeds == 5
+        assert not args.skip_fig4
+        assert args.json == ""
+
 
 class TestCommands:
     def test_fig2_runs(self, capsys):
@@ -67,6 +75,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "rooted at F" in out
         assert "DeliveryReport" in out
+
+    def test_bench_runs_and_writes_report(self, capsys, tmp_path):
+        report = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--domains", "12", "--flaps", "1",
+             "--seeds", "2", "--skip-fig4", "--json", str(report)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "fingerprints identical: True" in out
+        payload = json.loads(report.read_text())
+        assert payload["identical_fingerprints"] is True
+        assert payload["baseline_seconds"] > 0
+        assert set(payload["per_seed"]) == {"0", "1"}
 
     def test_default_logging_keeps_stdout_clean(self, capsys):
         code = main(["fig4", "--nodes", "120", "--trials", "1"])

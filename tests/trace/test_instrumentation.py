@@ -106,8 +106,21 @@ class TestBgpConvergeSpan:
         topology = paper_figure3_topology()
         bgp = BgpNetwork(topology)
         assert bgp.updates_sent == 0
+        # Nothing originated: every advertisement set is empty, and
+        # empty/unchanged sets are suppressed, so no UPDATEs flow.
+        bgp.converge()
+        assert bgp.updates_sent == 0
+        bgp.originate_from_domain(
+            topology.domain("A"),
+            Prefix.parse("224.0.0.0/16"),
+            RouteType.GROUP,
+        )
         bgp.converge()
         assert bgp.updates_sent > 0
+        # A converge over an already-stable network sends nothing.
+        stable = bgp.updates_sent
+        bgp.converge()
+        assert bgp.updates_sent == stable
 
 
 class TestBgmpJoinSpans:
