@@ -1,0 +1,57 @@
+"""Perf gate for incremental BGMP tree maintenance under churn.
+
+The membership-churn workload (:mod:`repro.experiments.churn`) drives
+the whole architecture — seeded join/leave/source processes over a
+100-domain AS graph, periodic maintenance sweeps, and root flaps that
+re-anchor every tree under a withdrawn /20. Both tree-maintenance
+engines (``BgmpNetwork(incremental=...)``) run the identical schedule
+over an identical BGP substrate; everything observable must be
+byte-identical and the incremental engine must be >=2x faster overall.
+The run writes ``BENCH_bgmp_churn.json`` at the repo root so the
+speedup trajectory is tracked in-tree.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.experiments.churn import (
+    ChurnConfig,
+    run_bgmp_churn_bench,
+    write_churn_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_bench_bgmp_churn_speedup(benchmark):
+    config = ChurnConfig()
+    result = benchmark.pedantic(
+        run_bgmp_churn_bench, args=(config,), rounds=1, iterations=1
+    )
+    payload = write_churn_report(
+        result, REPO_ROOT / "BENCH_bgmp_churn.json"
+    )
+    emit(
+        "Incremental vs full-walk BGMP tree maintenance "
+        f"({config.domains} domains, {config.total_groups} groups, "
+        f"{config.flaps} flaps/seed)",
+        format_table(
+            ("seed", "full s", "incremental s", "speedup", "identical"),
+            result.rows(),
+        )
+        + f"\noverall speedup: {result.speedup:.2f}x"
+        + f"\nreport: {json.dumps(payload['speedup'])}x recorded",
+    )
+    # Determinism contract: digests, repair counters, deliveries and
+    # control traffic byte-identical across engines on every seed.
+    assert result.identical
+    assert config.domains >= 100
+    # Perf gate from the issue: incremental beats the full walk >=2x
+    # at 100 domains.
+    assert result.speedup >= 2.0, (
+        f"incremental BGMP maintenance speedup regressed: "
+        f"{result.speedup:.2f}x"
+    )

@@ -16,7 +16,7 @@ dominated large-topology runs.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional
+from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.addressing.ipv4 import ADDRESS_BITS, bit_at
 from repro.addressing.prefix import Prefix
@@ -294,6 +294,82 @@ class LpmTrie:
             if node.value is not _MISSING:
                 best = node.value
         return None if best is _MISSING else best
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Delete the entry stored under exactly ``prefix``.
+
+        Returns True when an entry was removed, False when the prefix
+        held no value. Empty branches left behind are pruned so lookup
+        walks stay short after heavy insert/delete churn.
+        """
+        path: List[_LpmNode] = [self._root]
+        node: Optional[_LpmNode] = self._root
+        for position in range(prefix.length):
+            node = node.high if prefix.bit(position) else node.low
+            if node is None:
+                return False
+            path.append(node)
+        if node.value is _MISSING:
+            return False
+        node.value = _MISSING
+        self._count -= 1
+        for index in range(len(path) - 1, 0, -1):
+            child = path[index]
+            if (
+                child.value is not _MISSING
+                or child.low is not None
+                or child.high is not None
+            ):
+                break
+            parent = path[index - 1]
+            if parent.low is child:
+                parent.low = None
+            else:
+                parent.high = None
+        return True
+
+    def covered(self, prefix: Prefix) -> List[Tuple[Prefix, Any]]:
+        """All stored entries whose prefix lies inside ``prefix``.
+
+        This is the reverse-dependency query of the incremental BGMP
+        engine: a G-RIB delta on a group range invalidates exactly the
+        (more-specific) group prefixes registered under it. Includes an
+        entry stored under ``prefix`` itself. Sorted by (network,
+        length) so iteration order is deterministic.
+        """
+        node = self._node_for(prefix)
+        if node is None:
+            return []
+        found: List[Tuple[Prefix, Any]] = []
+        self._collect_entries(node, prefix.network, prefix.length, found)
+        found.sort(key=lambda item: (item[0].network, item[0].length))
+        return found
+
+    def items(self) -> List[Tuple[Prefix, Any]]:
+        """All stored (prefix, value) pairs, sorted deterministically."""
+        found: List[Tuple[Prefix, Any]] = []
+        self._collect_entries(self._root, 0, 0, found)
+        found.sort(key=lambda item: (item[0].network, item[0].length))
+        return found
+
+    def _collect_entries(
+        self,
+        node: _LpmNode,
+        network: int,
+        length: int,
+        out: List[Tuple[Prefix, Any]],
+    ) -> None:
+        if node.value is not _MISSING:
+            out.append((Prefix(network, length), node.value))
+        if node.low is not None:
+            self._collect_entries(node.low, network, length + 1, out)
+        if node.high is not None:
+            self._collect_entries(
+                node.high,
+                network | (1 << (31 - length)),
+                length + 1,
+                out,
+            )
 
 
 def _subtree_has_allocation(node: _Node) -> bool:

@@ -10,7 +10,7 @@ source S prefer the (S,G) entry when one exists.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bgmp.targets import Target
 from repro.topology.domain import Domain
@@ -94,6 +94,12 @@ class ForwardingTable:
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple[int, Optional[Domain]], ForwardingEntry] = {}
+        #: Optional change hook, called with ``(group, created)`` when
+        #: an entry appears (True) or disappears (False). The
+        #: incremental maintenance engine uses it to keep its
+        #: group registry and dirty set in lockstep with the state the
+        #: repair pass must revisit; ``None`` costs nothing.
+        self.on_change: Optional[Callable[[int, bool], None]] = None
 
     def get(
         self, group: int, source_domain: Optional[Domain] = None
@@ -123,13 +129,19 @@ class ForwardingTable:
         if entry is None:
             entry = ForwardingEntry(group, parent, source_domain)
             self._entries[key] = entry
+            if self.on_change is not None:
+                self.on_change(group, True)
         return entry
 
     def remove(
         self, group: int, source_domain: Optional[Domain] = None
     ) -> bool:
         """Drop an entry; False if absent."""
-        return self._entries.pop((group, source_domain), None) is not None
+        if self._entries.pop((group, source_domain), None) is None:
+            return False
+        if self.on_change is not None:
+            self.on_change(group, False)
+        return True
 
     def entries(self) -> List[ForwardingEntry]:
         """All entries."""

@@ -13,9 +13,10 @@ import hashlib
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.addressing.prefix import Prefix
+from repro.addressing.trie import LpmTrie
 from repro.bgmp.router import BgmpRouter
 from repro.bgmp.targets import MigpTarget, PeerTarget
-from repro.bgp.network import BgpNetwork
+from repro.bgp.network import BgpNetwork, GribDelta
 from repro.bgp.routes import Route, RouteType
 from repro.migp import make_migp
 from repro.migp.base import MigpComponent
@@ -141,6 +142,16 @@ class BgmpNetwork:
             if bgp is not None
             else BgpNetwork(topology, incremental=incremental)
         )
+        #: Tree-maintenance engine selection. The incremental engine
+        #: subscribes to the BGP layer's G-RIB delta stream, keeps a
+        #: reverse index from covering group prefix to the groups with
+        #: forwarding state under it, and restricts every repair phase
+        #: to the dirty groups those deltas (plus entry churn and
+        #: broken-join notes) invalidated. The full engine
+        #: (``incremental=False``) walks every tree on every repair.
+        #: Both run the identical join/prune mechanics in the identical
+        #: order, so digests and traces are byte-identical.
+        self.incremental = incremental
         #: Telemetry sink shared with the per-router components (assign
         #: a real Tracer to trace joins, prunes, sends, and repairs).
         self.tracer = NULL_TRACER
@@ -154,6 +165,24 @@ class BgmpNetwork:
             )
             for router in domain.routers.values():
                 self._routers[router] = BgmpRouter(router, self)
+        #: Reverse dependency index: every group that ever acquired
+        #: membership or forwarding state is registered as a /32 under
+        #: its address, so ``covered(delta.prefix)`` yields exactly the
+        #: groups a G-RIB change can re-anchor. Monotone — a stale
+        #: registration only costs a no-op repair visit.
+        self._group_index = LpmTrie()
+        self._registered_groups: Set[int] = set()
+        self._dirty_groups: Set[int] = set()
+        #: Set when the BGP layer loses delta-stream continuity
+        #: (topology mutation): the next repair walks everything.
+        self._force_full_repair = False
+        #: Delta-stream counters (exported by trace.collect_metrics).
+        self.grib_deltas_seen = 0
+        self.groups_invalidated = 0
+        if incremental:
+            self.bgp.subscribe_grib(self)
+            for bgmp in self._routers.values():
+                bgmp.table.on_change = self._entry_changed
         if auto_unicast:
             self._originate_unicast()
 
@@ -187,21 +216,109 @@ class BgmpNetwork:
         """Converge the BGP substrate (after originations change)."""
         return self.bgp.converge()
 
+    # ------------------------------------------------------------------
+    # G-RIB delta subscription (the incremental engine's inputs)
+
+    def grib_deltas(self, deltas: List[GribDelta]) -> None:
+        """BGP subscriber hook: a batch of G-RIB changes landed.
+
+        Each delta's prefix covers a (possibly empty) subtree of the
+        registered group index; exactly those groups may need their
+        trees re-anchored, re-joined or pruned, so they join the dirty
+        set the next repair consumes.
+        """
+        self.grib_deltas_seen += len(deltas)
+        # Path hunting makes every speaker report the same moving
+        # prefix, so dedup before the (comparatively expensive)
+        # covering-subtree walk: one walk per distinct prefix per
+        # batch, not one per speaker per round.
+        seen: Set[Prefix] = set()
+        for delta in deltas:
+            if delta.prefix in seen:
+                continue
+            seen.add(delta.prefix)
+            for _prefix, group in self._group_index.covered(delta.prefix):
+                if group not in self._dirty_groups:
+                    self._dirty_groups.add(group)
+                    self.groups_invalidated += 1
+
+    def grib_reset(self) -> None:
+        """BGP subscriber hook: the delta stream lost continuity (the
+        substrate was invalidated wholesale); fall back to one full
+        walk on the next repair."""
+        self._force_full_repair = True
+
+    def note_broken_entry(self, group: int) -> None:
+        """A join could not reach its upstream (dead session or exit
+        router): the entry is parentless until repair, so the group
+        must stay dirty even though no G-RIB delta will point at it."""
+        if self.incremental:
+            self._register_group(group)
+            self._dirty_groups.add(group)
+
+    def _entry_changed(self, group: int, created: bool) -> None:
+        """Forwarding-table hook: entry state for ``group`` appeared or
+        vanished somewhere; the repair phases must revisit it."""
+        self._register_group(group)
+        self._dirty_groups.add(group)
+
+    def _register_group(self, group: int) -> None:
+        if not self.incremental or group in self._registered_groups:
+            return
+        self._registered_groups.add(group)
+        self._group_index.insert(Prefix(group, 32), group)
+
+    def dirty_group_count(self) -> int:
+        """Groups currently awaiting an incremental repair visit."""
+        return len(self._dirty_groups)
+
+    def _collect_dirty(self) -> Optional[Set[int]]:
+        """Drain the dirty set for one repair pass (pulling any deltas
+        still buffered in the BGP layer first). ``None`` means "walk
+        everything" — the full engine always, the incremental engine
+        only after a continuity loss."""
+        if not self.incremental:
+            return None
+        self.bgp.flush_grib_deltas()
+        if self._force_full_repair:
+            self._force_full_repair = False
+            self._dirty_groups = set()
+            return None
+        dirty = self._dirty_groups
+        self._dirty_groups = set()
+        return dirty
+
+    # ------------------------------------------------------------------
+    # Tree maintenance
+
     def refresh_trees(self, max_rounds: int = 10) -> int:
-        """Re-anchor every (\\*,G) entry after G-RIB changes.
+        """Re-anchor (\\*,G) entries after G-RIB changes.
 
         Needed when the best group route moves under existing trees —
         e.g. a child domain injects a more specific range (the group's
         root domain changes from the parent to the child, the paper's
         "addresses could be obtained from the parent's address space"
         case) or a route is withdrawn. Iterates until stable; returns
-        the number of parent migrations performed.
+        the number of parent migrations performed. The incremental
+        engine visits only dirty groups; the result is identical
+        because :meth:`~repro.bgmp.router.BgmpRouter.update_parent` is
+        a no-op wherever the G-RIB did not move.
+        """
+        return self._refresh_walk(self._collect_dirty(), max_rounds)
+
+    def _refresh_walk(
+        self, dirty: Optional[Set[int]], max_rounds: int
+    ) -> int:
+        """One refresh fixpoint over all groups (``dirty is None``) or
+        the given dirty set — the single code path both engines share.
         """
         migrations = 0
         for _ in range(max_rounds):
             changed = 0
             for bgmp in list(self._routers.values()):
                 for group in list(bgmp.table.groups()):
+                    if dirty is not None and group not in dirty:
+                        continue
                     if bgmp.table.get(group) is None:
                         continue
                     if bgmp.update_parent(group):
@@ -275,32 +392,56 @@ class BgmpNetwork:
     def repair_trees(self) -> Dict[str, int]:
         """Post-fault recovery pass (run after the BGP substrate has
         reconverged): re-anchor surviving (\\*,G) entries onto the new
-        best G-RIB routes, re-join every member domain whose tree
-        state was lost with the fault, and tear down interior branches
-        left redundant by a migration (a domain whose members moved
-        back to a recovered exit must not keep delivering through the
-        detour too). Returns repair counters."""
+        best G-RIB routes, tear down interior branches left redundant
+        by a migration (a domain whose members moved back to a
+        recovered exit must not keep delivering through the detour
+        too), then re-join every member domain left off-tree — by the
+        fault, or by that pruning. Returns repair counters.
+
+        The incremental engine runs the same three phases restricted
+        to the dirty groups its G-RIB delta subscription, forwarding
+        entry churn, and broken-join notes accumulated; every acting
+        operation happens in the same order as the full walk, so the
+        two engines differ only in how many no-op entries they skip.
+        """
         with self.tracer.span("bgmp.repair", layer="bgmp") as span:
-            migrations = self.refresh_trees()
-            rejoined = 0
+            dirty = self._collect_dirty()
+            migrations = self._refresh_walk(dirty, max_rounds=10)
             groups: Set[int] = set()
+            for domain in self.topology.domains:
+                for group in self.migp_of(domain).member_groups():
+                    if dirty is not None and group not in dirty:
+                        continue
+                    groups.add(group)
+            # Prune BEFORE re-joining: a domain served only by a
+            # redundant interior branch (its best exit moved but the
+            # old entry's external anchor did not) must lose that
+            # branch first, so the re-join phase sees it off-tree and
+            # re-attaches it through the new best exit in the same
+            # pass. The reverse order stranded such domains for a full
+            # repair cycle (observed by check_members_reachable under
+            # consecutive root-domain flips).
+            pruned = 0
+            for group in sorted(groups):
+                pruned += self._prune_redundant_branches(group)
+            rejoined = 0
             for domain in self.topology.domains:
                 migp = self.migp_of(domain)
                 for group in migp.member_groups():
-                    groups.add(group)
+                    if dirty is not None and group not in dirty:
+                        continue
                     if self._domain_on_tree(domain, group):
                         continue
                     host = next(iter(migp.members_of(group)))
                     if self.join(host, group):
                         rejoined += 1
-            pruned = 0
-            for group in sorted(groups):
-                pruned += self._prune_redundant_branches(group)
             span.finish(
                 status="ok",
                 migrations=migrations,
                 rejoined=rejoined,
                 pruned=pruned,
+                engine="incremental" if dirty is not None else "full",
+                visited=len(dirty) if dirty is not None else -1,
             )
             return {
                 "migrations": migrations,
@@ -426,6 +567,11 @@ class BgmpNetwork:
         with self.tracer.span(
             "bgmp.join", layer="bgmp", group=hex(group), domain=domain.name
         ) as span:
+            # Register the group even when the join fails or resolves
+            # inside the root domain: a later G-RIB delta covering the
+            # address must invalidate it so the repair pass can build
+            # the tree the membership is waiting for.
+            self._register_group(group)
             migp = self.migp_of(domain)
             migp.add_member(host, group)
             best_exit = self.best_exit_router(domain, group)

@@ -113,6 +113,7 @@ class BgmpRouter:
                 # (the substrate has not reconverged yet): hold the
                 # entry parentless; the next repair pass re-anchors it.
                 entry.upstream = None
+                self.network.note_broken_entry(group)
                 return
             self.joins_sent += 1
             entry.upstream = parent.router
@@ -138,6 +139,7 @@ class BgmpRouter:
         if not self.network.router_up(exit_router):
             self.migp.forward_join_cost()
             entry.upstream = None
+            self.network.note_broken_entry(group)
             return
         self.migp.forward_join_cost()
         self.joins_sent += 1

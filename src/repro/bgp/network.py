@@ -32,6 +32,7 @@ from repro.bgp.policy import (
     GaoRexfordPolicy,
     preference_for,
 )
+from repro.bgp.rib import diff_type_entries
 from repro.bgp.routes import Route, RouteType
 from repro.bgp.speaker import BgpSpeaker
 from repro.topology.domain import BorderRouter, Domain
@@ -51,6 +52,23 @@ class ConvergenceError(Exception):
         super().__init__(message)
         #: Rounds spent before giving up.
         self.rounds = rounds
+
+
+@dataclass(frozen=True)
+class GribDelta:
+    """One structured G-RIB change at one router.
+
+    ``kind`` is ``"added"``, ``"withdrawn"`` or ``"changed"`` (the
+    best route for the prefix was replaced — next hop, AS path or
+    preference moved). Deltas are emitted from the content comparison
+    inside :meth:`~repro.bgp.rib.LocRib.replace`, so a recompute that
+    lands on identical contents emits nothing, and both propagation
+    engines emit the identical delta stream.
+    """
+
+    router: BorderRouter
+    prefix: Prefix
+    kind: str
 
 
 @dataclass(frozen=True)
@@ -121,6 +139,12 @@ class BgpNetwork:
             Domain, Dict[RouteType, List[Prefix]]
         ] = {}
         self._origin_index: Optional[LpmTrie] = None
+        #: G-RIB delta subscribers (e.g. the incremental BGMP engine)
+        #: and the deltas accumulated since the last flush. Capture is
+        #: fully off — no snapshots, no diffs — until the first
+        #: subscriber registers.
+        self._grib_subscribers: List = []
+        self._pending_grib_deltas: List[GribDelta] = []
         for router in topology.routers():
             self.speakers[router] = self._new_speaker(router)
 
@@ -166,6 +190,61 @@ class BgpNetwork:
         for speaker in self.speakers.values():
             self._dirty.add(speaker)
             self._export_dirty.add(speaker)
+        # Delta subscribers cannot trust an incremental stream across a
+        # topology mutation: tell them to treat everything as changed.
+        self._pending_grib_deltas.clear()
+        for subscriber in self._grib_subscribers:
+            subscriber.grib_reset()
+
+    # ------------------------------------------------------------------
+    # G-RIB delta stream (consumed by the incremental BGMP engine)
+
+    def subscribe_grib(self, subscriber) -> None:
+        """Register a G-RIB delta consumer.
+
+        A subscriber implements ``grib_deltas(deltas)`` — called with a
+        batch of :class:`GribDelta` records at the end of every
+        convergence run that changed any G-RIB — and ``grib_reset()``,
+        called when the stream loses continuity (topology mutation) and
+        the subscriber must fall back to treating all state as stale.
+        """
+        if subscriber not in self._grib_subscribers:
+            self._grib_subscribers.append(subscriber)
+
+    def captures_grib(self) -> bool:
+        """Whether speakers should capture before/after snapshots
+        around Loc-RIB changes (only worth the copy when someone is
+        listening)."""
+        return bool(self._grib_subscribers)
+
+    def grib_changed(
+        self,
+        speaker: BgpSpeaker,
+        old: Dict[Tuple[RouteType, Prefix], Route],
+        new: Dict[Tuple[RouteType, Prefix], Route],
+    ) -> None:
+        """Speaker hook: its Loc-RIB contents just changed. Unlike the
+        dirty-set hooks this one stays live during convergence — the
+        deltas produced *by* convergence are exactly the stream the
+        subscribers want."""
+        for prefix, kind in diff_type_entries(old, new, RouteType.GROUP):
+            self._pending_grib_deltas.append(
+                GribDelta(speaker.router, prefix, kind)
+            )
+
+    def flush_grib_deltas(self) -> int:
+        """Deliver accumulated deltas to every subscriber; returns how
+        many were delivered. Called automatically at the end of
+        :meth:`try_converge`; consumers that mutate G-RIBs outside of
+        convergence (tests, direct speaker pokes) may call it directly.
+        """
+        if not self._pending_grib_deltas:
+            return 0
+        deltas = self._pending_grib_deltas
+        self._pending_grib_deltas = []
+        for subscriber in self._grib_subscribers:
+            subscriber.grib_deltas(deltas)
+        return len(deltas)
 
     # ------------------------------------------------------------------
     # Origination
@@ -444,6 +523,7 @@ class BgpNetwork:
                 return ConvergenceResult(False, max_rounds)
         finally:
             self._muted = False
+            self.flush_grib_deltas()
 
     def _ordered_routers(self) -> List[BorderRouter]:
         ordered: List[BorderRouter] = []

@@ -17,6 +17,40 @@ from repro.bgp.routes import Route, RouteType
 from repro.topology.domain import BorderRouter
 
 
+def diff_type_entries(
+    old: Dict[Tuple[RouteType, Prefix], Route],
+    new: Dict[Tuple[RouteType, Prefix], Route],
+    route_type: RouteType,
+) -> List[Tuple[Prefix, str]]:
+    """Content diff between two Loc-RIB snapshots for one route type.
+
+    Returns ``(prefix, kind)`` pairs with kind one of ``"added"``,
+    ``"withdrawn"`` or ``"changed"`` (the route object for the prefix
+    differs — next hop, AS path, preference or provenance). This is
+    the primitive behind the G-RIB delta stream that drives
+    incremental BGMP tree maintenance; the pairs are sorted so delta
+    consumers see a deterministic order.
+    """
+    deltas: List[Tuple[Prefix, str]] = []
+    for key, route in old.items():
+        kind, prefix = key
+        if kind is not route_type:
+            continue
+        replacement = new.get(key)
+        if replacement is None:
+            deltas.append((prefix, "withdrawn"))
+        elif replacement != route:
+            deltas.append((prefix, "changed"))
+    for key in new:
+        kind, prefix = key
+        if kind is not route_type:
+            continue
+        if key not in old:
+            deltas.append((prefix, "added"))
+    deltas.sort(key=lambda item: (item[0].network, item[0].length, item[1]))
+    return deltas
+
+
 class AdjRibIn:
     """Routes received from one peer, keyed by (type, prefix)."""
 
@@ -76,11 +110,25 @@ class LocRib:
     def replace(self, routes: Dict[Tuple[RouteType, Prefix], Route]) -> bool:
         """Swap in a freshly-selected table; True when the contents
         changed (the comparison the decision process reports)."""
+        return self.replace_capturing(routes) is not None
+
+    def replace_capturing(
+        self, routes: Dict[Tuple[RouteType, Prefix], Route]
+    ) -> Optional[Dict[Tuple[RouteType, Prefix], Route]]:
+        """Like :meth:`replace`, but returns the pre-replacement table
+        when the contents changed (``None`` when unchanged).
+
+        Because the swap installs a fresh dict, the old one can be
+        handed back without copying — the zero-cost capture the G-RIB
+        delta stream rides on: no snapshots on the (overwhelmingly
+        common) unchanged recompute, no copy on the changed one.
+        """
         if routes == self._routes:
-            return False
+            return None
+        old = self._routes
         self._routes = dict(routes)
         self._lpm.clear()
-        return True
+        return old
 
     def get(self, route_type: RouteType, prefix: Prefix) -> Optional[Route]:
         """Exact-prefix lookup."""
@@ -127,3 +175,19 @@ class LocRib:
     def snapshot(self) -> Dict[Tuple[RouteType, Prefix], Route]:
         """A copy of the table (used by convergence checks)."""
         return dict(self._routes)
+
+    def type_snapshot(
+        self, route_type: RouteType
+    ) -> Dict[Tuple[RouteType, Prefix], Route]:
+        """A copy of just one type's entries.
+
+        The G-RIB delta capture runs around every decision-process
+        recompute, so it snapshots only the GROUP slice — a handful of
+        group ranges instead of the full table — keeping capture cost
+        negligible next to the recompute itself.
+        """
+        return {
+            key: route
+            for key, route in self._routes.items()
+            if key[0] is route_type
+        }

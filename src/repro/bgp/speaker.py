@@ -41,6 +41,15 @@ class BgpSpeaker:
         if self._listener is not None:
             self._listener.origins_changed(self)
 
+    def _captures_grib(self) -> bool:
+        """True when the listener wants before/after Loc-RIB tables
+        around every content change (the G-RIB delta stream). Capture
+        is zero-copy on the recompute path, but the diff on change is
+        not free, so it stays gated on an actual downstream
+        consumer."""
+        listener = self._listener
+        return listener is not None and listener.captures_grib()
+
     @property
     def domain(self):
         """The speaker's domain."""
@@ -74,8 +83,15 @@ class BgpSpeaker:
         """Crash recovery model: volatile state (Adj-RIB-Ins, Loc-RIB)
         is lost; configuration (locally-originated routes) survives and
         is re-announced on the next decision round."""
+        old = (
+            self.loc_rib.type_snapshot(RouteType.GROUP)
+            if self._captures_grib() and len(self.loc_rib)
+            else None
+        )
         self._adj_in.clear()
         self.loc_rib.clear()
+        if old:
+            self._listener.grib_changed(self, old, {})
         self._mark_dirty()
 
     # ------------------------------------------------------------------
@@ -160,6 +176,11 @@ class BgpSpeaker:
             key: min(routes, key=self._rank)
             for key, routes in candidates.items()
         }
+        if self._captures_grib():
+            old = self.loc_rib.replace_capturing(selected)
+            if old is not None:
+                self._listener.grib_changed(self, old, selected)
+            return old is not None
         return self.loc_rib.replace(selected)
 
     def _rank(self, route: Route) -> Tuple:

@@ -9,9 +9,11 @@ a shell:
 - ``trace`` — an instrumented run (fig2, fig4, or a chaos scenario)
   exporting span traces, a Chrome ``trace_event`` file, and a unified
   metrics snapshot.
-- ``bench`` — the standing perf workloads: incremental-vs-full BGP
-  convergence and the parallel fig4 seed sweep, printed as comparison
-  tables and optionally written to ``BENCH_convergence.json``.
+- ``bench`` — the standing perf workloads, selected with ``--suite``:
+  incremental-vs-full BGP convergence plus the parallel fig4 seed
+  sweep (``convergence``), the incremental-vs-full-walk BGMP
+  membership-churn workload (``bgmp-churn``), or ``all``; printed as
+  comparison tables and optionally written to ``BENCH_*.json``.
 
 Results (tables, reports) go to stdout; progress and diagnostics go to
 stderr through :mod:`logging`, controlled by ``-v`` / ``--quiet``, so
@@ -221,60 +223,109 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
-    from repro.experiments.bench import (
-        ConvergenceBenchConfig,
-        run_convergence_bench,
-        run_fig4_sweep_bench,
-        write_convergence_report,
-    )
 
-    config = ConvergenceBenchConfig(
-        domains=args.domains,
-        flaps=args.flaps,
-        seeds=tuple(range(args.seeds)),
-    )
-    log.info(
-        "bench: convergence churn, %d domains, %d flaps, %d seeds",
-        config.domains, config.flaps, len(config.seeds),
-    )
-    result = run_convergence_bench(config)
-    print(f"convergence churn ({config.domains} domains, "
-          f"{config.flaps} flaps per seed)")
-    print(
-        format_table(
-            ("seed", "full s", "incremental s", "speedup", "identical"),
-            result.rows(),
+    identical = True
+
+    if args.suite in ("convergence", "all"):
+        from repro.experiments.bench import (
+            ConvergenceBenchConfig,
+            run_convergence_bench,
+            run_fig4_sweep_bench,
+            write_convergence_report,
         )
-    )
-    print()
-    print(f"overall speedup: {result.speedup:.2f}x  "
-          f"fingerprints identical: {result.identical}")
 
-    fig4 = None
-    if not args.skip_fig4:
-        log.info("bench: fig4 sweep, %d nodes", args.nodes)
-        fig4 = run_fig4_sweep_bench(node_count=args.nodes)
-        print()
-        print("fig4 multi-seed sweep (serial vs parallel runner)")
+        config = ConvergenceBenchConfig(
+            domains=args.domains,
+            flaps=args.flaps,
+            seeds=tuple(range(args.seeds)),
+        )
+        log.info(
+            "bench: convergence churn, %d domains, %d flaps, %d seeds",
+            config.domains, config.flaps, len(config.seeds),
+        )
+        result = run_convergence_bench(config)
+        identical = identical and result.identical
+        print(f"convergence churn ({config.domains} domains, "
+              f"{config.flaps} flaps per seed)")
         print(
             format_table(
-                ("seeds", "serial s", "parallel s", "speedup",
+                ("seed", "full s", "incremental s", "speedup",
                  "identical"),
-                [(
-                    len(fig4.seeds),
-                    fig4.serial_seconds,
-                    fig4.parallel_seconds,
-                    fig4.speedup,
-                    "yes" if fig4.identical else "NO",
-                )],
+                result.rows(),
             )
         )
-    if args.json:
-        path = Path(args.json)
-        write_convergence_report(result, path, fig4=fig4)
         print()
-        print(f"report: {path}")
-    return 0 if result.identical else 1
+        print(f"overall speedup: {result.speedup:.2f}x  "
+              f"fingerprints identical: {result.identical}")
+
+        fig4 = None
+        if not args.skip_fig4:
+            log.info("bench: fig4 sweep, %d nodes", args.nodes)
+            fig4 = run_fig4_sweep_bench(node_count=args.nodes)
+            print()
+            print("fig4 multi-seed sweep (serial vs parallel runner)")
+            print(
+                format_table(
+                    ("seeds", "serial s", "parallel s", "speedup",
+                     "identical"),
+                    [(
+                        len(fig4.seeds),
+                        fig4.serial_seconds,
+                        fig4.parallel_seconds,
+                        fig4.speedup,
+                        "yes" if fig4.identical else "NO",
+                    )],
+                )
+            )
+        if args.json:
+            path = Path(args.json)
+            write_convergence_report(result, path, fig4=fig4)
+            print()
+            print(f"report: {path}")
+
+    if args.suite in ("bgmp-churn", "all"):
+        from repro.experiments.churn import (
+            ChurnConfig,
+            run_bgmp_churn_bench,
+            write_churn_report,
+        )
+
+        churn_config = ChurnConfig(domains=args.domains)
+        log.info(
+            "bench: bgmp churn, %d domains, %d groups, %d seeds",
+            churn_config.domains, churn_config.total_groups,
+            args.churn_seeds,
+        )
+        churn = run_bgmp_churn_bench(
+            churn_config, seeds=tuple(range(args.churn_seeds))
+        )
+        identical = identical and churn.identical
+        if args.suite == "all":
+            print()
+        print(f"bgmp membership churn ({churn_config.domains} domains, "
+              f"{churn_config.total_groups} groups, "
+              f"{churn_config.flaps} flaps per seed)")
+        print(
+            format_table(
+                ("seed", "full s", "incremental s", "speedup",
+                 "identical"),
+                churn.rows(),
+            )
+        )
+        print()
+        print(f"overall speedup: {churn.speedup:.2f}x  "
+              f"fingerprints identical: {churn.identical}")
+        if args.json:
+            path = Path(args.json)
+            if args.suite == "all":
+                path = path.with_name(
+                    path.stem + "_bgmp_churn" + path.suffix
+                )
+            write_churn_report(churn, path)
+            print()
+            print(f"report: {path}")
+
+    return 0 if identical else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -344,16 +395,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="perf workloads: convergence engines + parallel sweep",
+        help="perf workloads: convergence engines, bgmp churn, "
+             "parallel sweep",
     )
+    bench.add_argument("--suite",
+                       choices=("convergence", "bgmp-churn", "all"),
+                       default="convergence",
+                       help="which standing bench to run")
     bench.add_argument("--domains", type=int, default=100,
-                       help="convergence bench topology size")
+                       help="bench topology size (both suites)")
     bench.add_argument("--flaps", type=int, default=3,
                        help="withdraw/re-originate cycles per seed")
     bench.add_argument("--seeds", type=int, default=5,
                        help="number of seeds (0..N-1)")
     bench.add_argument("--nodes", type=int, default=400,
                        help="fig4 sweep topology size")
+    bench.add_argument("--churn-seeds", type=int, default=3,
+                       help="bgmp-churn: number of seeds (0..N-1)")
     bench.add_argument("--skip-fig4", action="store_true",
                        help="run only the convergence bench")
     bench.add_argument("--json", default="",

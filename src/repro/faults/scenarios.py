@@ -12,9 +12,11 @@ suite and the ``repro trace chaos`` CLI command exercise.
 from __future__ import annotations
 
 import random
+from typing import Optional
 
 from repro.addressing.prefix import Prefix
 from repro.bgmp.network import BgmpNetwork
+from repro.bgp.network import BgpNetwork
 from repro.faults.chaos import ChaosScenario
 from repro.faults.plan import FaultCandidate
 from repro.masc.config import MascConfig
@@ -37,17 +39,28 @@ FIGURE3_CANDIDATES = (
 )
 
 
-def figure3_chaos_scenario(incremental: bool = True) -> ChaosScenario:
+def figure3_chaos_scenario(
+    incremental: bool = True,
+    bgmp_incremental: Optional[bool] = None,
+) -> ChaosScenario:
     """Figure 3 internetwork with members in F and H plus a MASC tree
     (parent MP, siblings M1/M2) on the same clock — every candidate
     fault is survivable by design.
 
-    ``incremental`` selects the BGP convergence engine; the
-    equivalence tests run the same schedules on both and compare
+    ``incremental`` selects the BGP convergence engine;
+    ``bgmp_incremental`` (defaulting to the same value) independently
+    selects the BGMP tree-maintenance engine, so the equivalence tests
+    can vary one layer at a time over identical substrates and compare
     fingerprints."""
     sim = Simulator()
     topology = paper_figure3_topology()
-    network = BgmpNetwork(topology, incremental=incremental)
+    network = BgmpNetwork(
+        topology,
+        bgp=BgpNetwork(topology, incremental=incremental),
+        incremental=(
+            incremental if bgmp_incremental is None else bgmp_incremental
+        ),
+    )
     network.originate_group_range(
         topology.domain("A"), Prefix.parse("224.0.0.0/16")
     )

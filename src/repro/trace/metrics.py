@@ -105,6 +105,13 @@ def collect_metrics(
         registry.gauge("bgmp.forwarding_entries").set(
             bgmp.forwarding_state_size()
         )
+        registry.counter("bgmp.grib_deltas_seen").increment(
+            bgmp.grib_deltas_seen
+        )
+        registry.counter("bgmp.groups_invalidated").increment(
+            bgmp.groups_invalidated
+        )
+        registry.gauge("bgmp.dirty_groups").set(bgmp.dirty_group_count())
 
     if overlay is not None:
         registry.counter("masc.messages_dropped").increment(

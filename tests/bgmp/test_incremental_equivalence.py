@@ -1,0 +1,257 @@
+"""Full-walk vs incremental BGMP tree maintenance equivalence.
+
+The incremental engine (G-RIB-delta-driven dirty sets restricting
+every repair phase) is an optimization, not a semantic change: over an
+identical BGP substrate and identical inputs it must produce
+byte-identical forwarding state, repair counters, join/prune control
+traffic, trace events, and sanitizer verdicts as the full-walk engine
+(``BgmpNetwork(incremental=False)``). These tests drive both engines
+through churn workloads, fault sequences, and chaos schedules, and
+compare fingerprints byte for byte — the BGMP-layer mirror of
+``tests/bgp/test_incremental_equivalence.py``.
+"""
+
+import functools
+
+from repro.addressing.prefix import Prefix
+from repro.bgmp.network import BgmpNetwork
+from repro.bgp.network import BgpNetwork
+from repro.experiments.churn import (
+    ChurnConfig,
+    build_churn_schedule,
+    run_churn_workload,
+)
+from repro.faults.chaos import ChaosHarness
+from repro.faults.scenarios import figure3_chaos_scenario
+from repro.topology.generators import paper_figure3_topology
+from repro.trace.tracer import Tracer
+
+SEEDS = (0, 1, 2, 3, 4)
+
+#: Small enough to run 5 seeds x 2 engines inside the tier-1 budget,
+#: big enough to exercise flaps, maintenance sweeps, and churn.
+SMALL = ChurnConfig(
+    domains=16,
+    group_domains=5,
+    groups_per_domain=4,
+    initial_members=2,
+    churn_per_flap=12,
+    flaps=2,
+    maintain_every=4,
+)
+
+
+def _engine_pair(topology_builder):
+    """(full, incremental) BGMP engines over identical incremental-BGP
+    substrates, so only the tree-maintenance layer varies."""
+    out = []
+    for incremental in (False, True):
+        topology = topology_builder()
+        out.append(
+            BgmpNetwork(
+                topology,
+                bgp=BgpNetwork(topology, incremental=True),
+                incremental=incremental,
+            )
+        )
+    return out
+
+
+def _seed_figure3(network):
+    topology = network.topology
+    network.originate_group_range(
+        topology.domain("A"), Prefix.parse("224.0.0.0/16")
+    )
+    network.converge()
+    group = 0xE0000101
+    for name in ("F", "H", "G"):
+        assert network.join(topology.domain(name).host("m"), group)
+    return group
+
+
+class TestChurnWorkloadEquivalence:
+    def test_fingerprints_match_across_seeds(self):
+        for seed in SEEDS:
+            runs = {
+                incremental: run_churn_workload(
+                    SMALL, seed, incremental=incremental
+                )
+                for incremental in (False, True)
+            }
+            assert (
+                runs[False].fingerprint() == runs[True].fingerprint()
+            ), f"engines diverged on seed {seed}"
+            assert runs[False].repairs, "workload ran no repairs"
+
+    def test_schedules_are_engine_independent(self):
+        # The schedule is built before any engine runs; both arms of
+        # every seed replayed the same event list.
+        for seed in SEEDS:
+            schedule = build_churn_schedule(SMALL, seed)
+            assert schedule == build_churn_schedule(SMALL, seed)
+            kinds = {event[0] for event in schedule}
+            assert {"join", "flap", "repair"} <= kinds
+
+
+class TestFaultSequenceEquivalence:
+    def test_session_flap_and_router_crash(self):
+        trails = []
+        for network in _engine_pair(paper_figure3_topology):
+            group = _seed_figure3(network)
+            topology = network.topology
+            f1 = topology.domain("F").routers["F1"]
+            b2 = topology.domain("B").routers["B2"]
+            h1 = topology.domain("H").routers["H1"]
+            steps = []
+            network.bgp.set_session_state(f1, b2, up=False)
+            network.converge()
+            steps.append(tuple(sorted(network.repair_trees().items())))
+            network.bgp.set_session_state(f1, b2, up=True)
+            network.converge()
+            steps.append(tuple(sorted(network.repair_trees().items())))
+            network.handle_router_crash(h1)
+            network.converge()
+            steps.append(tuple(sorted(network.repair_trees().items())))
+            network.handle_router_restart(h1)
+            network.converge()
+            steps.append(tuple(sorted(network.repair_trees().items())))
+            steps.append(network.forwarding_digest())
+            steps.append(network.bgp.rib_digest())
+            steps.append(
+                sorted(
+                    (b.router.name, b.joins_sent, b.prunes_sent)
+                    for b in network.bgmp_routers()
+                )
+            )
+            report = network.send(
+                topology.domain("E").host("s"), group
+            )
+            steps.append(
+                (report.total_deliveries, report.external_hops)
+            )
+            trails.append(steps)
+        assert trails[0] == trails[1]
+
+    def test_root_flip_sequence(self):
+        # Consecutive root-domain moves: the covering /16 stays up
+        # while a more-specific /20 appears and disappears repeatedly.
+        trails = []
+        more_specific = Prefix.parse("224.0.0.0/20")
+        for network in _engine_pair(paper_figure3_topology):
+            _seed_figure3(network)
+            topology = network.topology
+            f_domain = topology.domain("F")
+            steps = []
+            for _ in range(3):
+                network.originate_group_range(f_domain, more_specific)
+                network.converge()
+                steps.append(
+                    tuple(sorted(network.repair_trees().items()))
+                )
+                network.bgp.withdraw(f_domain.router(), more_specific)
+                network.converge()
+                steps.append(
+                    tuple(sorted(network.repair_trees().items()))
+                )
+                steps.append(network.forwarding_digest())
+            trails.append(steps)
+        assert trails[0] == trails[1]
+
+
+class TestTraceEquivalence:
+    def _bgmp_events(self, tracer):
+        """Every bgmp.* event across all spans plus orphans, in
+        emission order — the control-traffic trace both engines must
+        reproduce exactly. (Repair *span attrs* legitimately differ:
+        the incremental engine labels engine/visited.)"""
+        events = []
+        for span in tracer.spans:
+            for event in span.events:
+                if event.name.startswith("bgmp."):
+                    events.append((event.name, dict(event.attrs)))
+        for event in tracer.orphan_events:
+            if event.name.startswith("bgmp."):
+                events.append((event.name, dict(event.attrs)))
+        return events
+
+    def test_join_and_prune_events_match(self):
+        traces = []
+        more_specific = Prefix.parse("224.0.0.0/20")
+        for network in _engine_pair(paper_figure3_topology):
+            tracer = Tracer()
+            network.tracer = tracer
+            _seed_figure3(network)
+            f_domain = network.topology.domain("F")
+            network.originate_group_range(f_domain, more_specific)
+            network.converge()
+            network.repair_trees()
+            network.bgp.withdraw(f_domain.router(), more_specific)
+            network.converge()
+            network.repair_trees()
+            traces.append(self._bgmp_events(tracer))
+        assert traces[0] == traces[1]
+        assert any(
+            name == "bgmp.join_sent" for name, _attrs in traces[0]
+        )
+
+    def test_repair_span_reports_engine_and_dirty_count(self):
+        full, inc = _engine_pair(paper_figure3_topology)
+        for network in (full, inc):
+            network.tracer = Tracer()
+            _seed_figure3(network)
+            network.repair_trees()
+        full_span = full.tracer.spans_named("bgmp.repair")[-1]
+        inc_span = inc.tracer.spans_named("bgmp.repair")[-1]
+        assert full_span.attrs["engine"] == "full"
+        assert full_span.attrs["visited"] == -1
+        assert inc_span.attrs["engine"] == "incremental"
+        assert inc_span.attrs["visited"] >= 0
+
+
+class TestChaosScenarioEquivalence:
+    def test_chaos_schedules_byte_identical_across_engines(self):
+        results = {}
+        for incremental in (False, True):
+            factory = functools.partial(
+                figure3_chaos_scenario,
+                incremental=True,
+                bgmp_incremental=incremental,
+            )
+            harness = ChaosHarness(factory, n_faults=2, sanitize=True)
+            results[incremental] = [
+                harness.run(seed) for seed in range(3)
+            ]
+        for first, second in zip(results[False], results[True]):
+            # Identical sanitizer verdicts, schedules, fingerprints.
+            assert first.ok == second.ok
+            assert first.violations == second.violations
+            assert first.ok, first.violations
+            assert first.schedule == second.schedule
+            assert first.events == second.events
+            assert first.claim_tables == second.claim_tables
+            assert first.forwarding_digest == second.forwarding_digest
+            assert [
+                (r.converged, r.rounds) for r in first.recoveries
+            ] == [(r.converged, r.rounds) for r in second.recoveries]
+
+
+class TestContinuityLoss:
+    def test_invalidate_falls_back_to_full_walk(self):
+        topology = paper_figure3_topology()
+        network = BgmpNetwork(
+            topology,
+            bgp=BgpNetwork(topology, incremental=True),
+            incremental=True,
+        )
+        _seed_figure3(network)
+        network.repair_trees()  # drain setup dirt
+        # Wholesale substrate invalidation loses delta continuity; the
+        # next repair must walk everything (and still be a no-op here).
+        network.bgp.invalidate()
+        network.converge()
+        counters = network.repair_trees()
+        assert counters["migrations"] == 0
+        span_free = network.forwarding_digest()
+        # And the engine returns to incremental operation afterwards.
+        assert network.dirty_group_count() == 0
+        assert network.forwarding_digest() == span_free
