@@ -1,0 +1,79 @@
+"""Snapshot-coverage registry: the restore-fidelity allowlist.
+
+Classes with *custom* serialization — ``__reduce__``, an explicit
+``__getstate__``/``__setstate__`` pair, or ``__slots__`` — are the one
+place a new attribute can silently fall out of a checkpoint: the
+default pickle path captures ``__dict__`` wholesale, but a hand-written
+one only captures what it was written to capture. Every such
+simulator-state class registers here, mapping its location to the
+exact attribute set its snapshot covers.
+
+The static lint rule **DET006** (``repro.lint``) cross-checks this
+registry against the source: any ``self.attr = ...`` assignment (or
+``__slots__`` entry) in a registered class that names an attribute
+missing from its allowlist fails the lint gate. Adding state to one of
+these classes therefore forces a conscious, reviewable edit in two
+places — the snapshot method and this file — so restore fidelity
+cannot rot silently.
+
+Keys are ``"<module>:<ClassName>"`` with the module path relative to
+the ``repro`` package (matching what the linter derives from the file
+path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+#: class location -> attributes its snapshot/restore path covers.
+SNAPSHOT_REGISTRY: Dict[str, FrozenSet[str]] = {
+    # Simulator has an explicit __getstate__ (queue compaction +
+    # canonical heap order + sequence-counter transfer).
+    "repro.sim.engine:Simulator": frozenset({
+        "_now",
+        "_heap",
+        "_sequence",
+        "_processed",
+        "_cancelled_pending",
+        "_observers",
+        "_observer_snapshot",
+        "_profiler",
+    }),
+    # Event is a __slots__ class: a new slot is automatically pickled,
+    # but a new attribute requires a new slot — keep the list exact.
+    "repro.sim.engine:Event": frozenset({
+        "time",
+        "callback",
+        "args",
+        "cancelled",
+        "name",
+        "_owner",
+    }),
+    # RandomStreams exposes getstate()/setstate() for explicit
+    # snapshots; both must cover every attribute.
+    "repro.sim.randomness:RandomStreams": frozenset({
+        "_master_seed",
+        "_streams",
+    }),
+    # The topology identity classes reconstruct via __reduce__ (hash
+    # attributes first, remaining state second).
+    "repro.topology.domain:Domain": frozenset({
+        "domain_id",
+        "name",
+        "kind",
+        "routers",
+        "hosts",
+        "providers",
+        "customers",
+        "peers",
+    }),
+    "repro.topology.domain:BorderRouter": frozenset({
+        "name",
+        "domain",
+        "external_neighbors",
+    }),
+    "repro.topology.domain:Host": frozenset({
+        "name",
+        "domain",
+    }),
+}

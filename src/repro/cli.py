@@ -14,6 +14,13 @@ a shell:
   sweep (``convergence``), the incremental-vs-full-walk BGMP
   membership-churn workload (``bgmp-churn``), or ``all``; printed as
   comparison tables and optionally written to ``BENCH_*.json``.
+  Fingerprint divergence or a ``--min-speedup`` gate miss exits
+  nonzero with a one-line verdict on stderr.
+- ``soak`` — crash-resumable checkpointed chaos: ``soak run`` writes a
+  full-world checkpoint at every segment boundary, ``soak resume``
+  continues after a crash from the latest one (fingerprints are
+  byte-identical to an uninterrupted run), and ``soak replay``
+  re-triggers a sanitizer violation from its dump file.
 
 Results (tables, reports) go to stdout; progress and diagnostics go to
 stderr through :mod:`logging`, controlled by ``-v`` / ``--quiet``, so
@@ -223,8 +230,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
+    from repro.bgp.network import ConvergenceError
 
     identical = True
+    failures: List[str] = []
 
     if args.suite in ("convergence", "all"):
         from repro.experiments.bench import (
@@ -243,8 +252,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "bench: convergence churn, %d domains, %d flaps, %d seeds",
             config.domains, config.flaps, len(config.seeds),
         )
-        result = run_convergence_bench(config)
+        try:
+            result = run_convergence_bench(config)
+        except (ConvergenceError, ValueError) as error:
+            log.error("bench: convergence suite failed: %s", error)
+            return 2
         identical = identical and result.identical
+        if args.min_speedup and result.speedup < args.min_speedup:
+            failures.append(
+                f"convergence speedup {result.speedup:.2f}x below "
+                f"--min-speedup gate {args.min_speedup:.2f}x"
+            )
         print(f"convergence churn ({config.domains} domains, "
               f"{config.flaps} flaps per seed)")
         print(
@@ -296,10 +314,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             churn_config.domains, churn_config.total_groups,
             args.churn_seeds,
         )
-        churn = run_bgmp_churn_bench(
-            churn_config, seeds=tuple(range(args.churn_seeds))
-        )
+        try:
+            churn = run_bgmp_churn_bench(
+                churn_config, seeds=tuple(range(args.churn_seeds))
+            )
+        except (ConvergenceError, ValueError) as error:
+            log.error("bench: bgmp-churn suite failed: %s", error)
+            return 2
         identical = identical and churn.identical
+        if args.min_speedup and churn.speedup < args.min_speedup:
+            failures.append(
+                f"bgmp-churn speedup {churn.speedup:.2f}x below "
+                f"--min-speedup gate {args.min_speedup:.2f}x"
+            )
         if args.suite == "all":
             print()
         print(f"bgmp membership churn ({churn_config.domains} domains, "
@@ -325,7 +352,87 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print()
             print(f"report: {path}")
 
-    return 0 if identical else 1
+    # Exit-code contract: perf-gate or fingerprint failures produce a
+    # one-line readable verdict on stderr and a nonzero exit, never an
+    # unhandled traceback.
+    if not identical:
+        failures.append(
+            "fingerprint divergence between engines (same seed, "
+            "different digests — see the 'identical' column above)"
+        )
+    for failure in failures:
+        log.error("bench FAILED: %s", failure)
+    return 1 if failures else 0
+
+
+def _soak_fingerprint_json(result) -> str:
+    import json
+
+    return json.dumps(result.fingerprint, sort_keys=True)
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.checkpoint import CheckpointError
+    from repro.faults.soak import (
+        SoakConfig,
+        SoakHarness,
+        replay_dump,
+    )
+    from repro.sanitizer import InvariantViolation
+
+    if args.action == "replay":
+        from repro.checkpoint import load_dump
+
+        try:
+            dump = load_dump(args.dump)
+            print(dump.render())
+            print()
+            violation = replay_dump(args.dump)
+        except (CheckpointError, OSError) as error:
+            log.error("soak replay failed: %s", error)
+            return 2
+        if violation is None:
+            log.error(
+                "soak replay: violation did NOT reproduce — "
+                "determinism bug or stale dump"
+            )
+            return 4
+        print("reproduced:")
+        print(violation.render())
+        return 0
+
+    config = SoakConfig(
+        seed=args.seed,
+        segments=args.segments,
+        segment_length=args.segment_length,
+        faults_per_segment=args.faults,
+    )
+    harness = SoakHarness(config=config, out_dir=args.dir)
+    try:
+        if args.action == "resume":
+            result = harness.resume()
+        else:
+            result = harness.run(kill_at=args.kill_at)
+    except InvariantViolation as violation:
+        log.error("soak: invariant violation at t=%g", violation.time)
+        print(violation.render())
+        dumps = sorted(Path(args.dir).glob("*.dump")) if args.dir else []
+        for dump_path in dumps:
+            print(f"dump: {dump_path}")
+        if dumps:
+            print(f"replay with: python -m repro soak replay {dumps[-1]}")
+        return 3
+    except CheckpointError as error:
+        log.error("soak %s failed: %s", args.action, error)
+        return 2
+    log.info(
+        "soak: %d segments, %d faults, %d recoveries",
+        result.segments, result.faults, result.recoveries,
+    )
+    for time, message in result.log:
+        log.info("  t=%g %s", time, message)
+    print(_soak_fingerprint_json(result))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -416,7 +523,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run only the convergence bench")
     bench.add_argument("--json", default="",
                        help="also write the JSON report to this path")
+    bench.add_argument("--min-speedup", type=float, default=0.0,
+                       help="perf gate: fail (exit 1) when a suite's "
+                            "speedup lands below this factor")
     bench.set_defaults(func=_cmd_bench)
+
+    soak = sub.add_parser(
+        "soak",
+        help="crash-resumable checkpointed chaos soak "
+             "(run | resume | replay)",
+    )
+    soak_sub = soak.add_subparsers(dest="action", required=True)
+
+    soak_run = soak_sub.add_parser(
+        "run", help="fresh soak chain with boundary checkpoints"
+    )
+    soak_run.add_argument("--seed", type=int, default=0)
+    soak_run.add_argument("--segments", type=int, default=3)
+    soak_run.add_argument("--segment-length", type=float, default=30.0)
+    soak_run.add_argument("--faults", type=int, default=2,
+                          help="faults drawn per segment")
+    soak_run.add_argument("--dir", default="soak-out",
+                          help="checkpoint/dump output directory")
+    soak_run.add_argument("--kill-at", type=float, default=None,
+                          help="crash the process (os._exit 137) at "
+                               "this simulation time — crash-resume "
+                               "testing")
+    soak_run.set_defaults(func=_cmd_soak)
+
+    soak_resume = soak_sub.add_parser(
+        "resume",
+        help="continue from the latest boundary checkpoint in --dir",
+    )
+    soak_resume.add_argument("--seed", type=int, default=0)
+    soak_resume.add_argument("--segments", type=int, default=3)
+    soak_resume.add_argument("--segment-length", type=float, default=30.0)
+    soak_resume.add_argument("--faults", type=int, default=2)
+    soak_resume.add_argument("--dir", default="soak-out")
+    soak_resume.set_defaults(func=_cmd_soak, kill_at=None)
+
+    soak_replay = soak_sub.add_parser(
+        "replay",
+        help="re-trigger a sanitizer violation from its dump file",
+    )
+    soak_replay.add_argument("dump", help="violation .dump file path")
+    soak_replay.set_defaults(
+        func=_cmd_soak, seed=0, segments=0, segment_length=0.0,
+        faults=0, dir="", kill_at=None,
+    )
     return parser
 
 

@@ -10,16 +10,27 @@ The runner degrades gracefully: with one item, one process, or a
 worker/result that cannot cross a process boundary (unpicklable
 closures, simulator-bound state) it falls back to the plain serial
 loop — same results, no pool.
+
+Worker *exceptions* are part of the contract too: a worker that raises
+inside the pool does not abort the sweep with a bare pool traceback.
+The failure is trapped in the child, logged with the exact item that
+failed, and the item is retried serially once in the parent (which
+clears pool-only failures: fork-state dependence, import races,
+resource limits). Only when the serial retry also fails does the
+sweep propagate — as a :class:`WorkerItemError` naming the item and
+its index, chained to the original exception.
 """
 
 from __future__ import annotations
 
+import functools
 import logging
 import multiprocessing
 import multiprocessing.pool
 import os
 import pickle
-from typing import Callable, List, Optional, Sequence, TypeVar
+import traceback
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 log = logging.getLogger("repro.experiments.runner")
 
@@ -30,6 +41,32 @@ ResultT = TypeVar("ResultT")
 #: TypeError/AttributeError for closures, lambdas, and locally-defined
 #: classes. Anything else is a real bug and propagates.
 _PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
+
+
+class WorkerItemError(RuntimeError):
+    """A worker failed on one specific item — in the pool and again on
+    the serial retry. Carries the item and its input index so the
+    caller knows exactly which seed/config to reproduce with."""
+
+    def __init__(self, item: object, index: int, reason: str):
+        super().__init__(
+            f"worker failed on item #{index} ({item!r}): {reason}"
+        )
+        self.item = item
+        self.index = index
+
+
+def _trap(worker: Callable[[ItemT], ResultT], item: ItemT) -> Tuple:
+    """Pool-side wrapper: convert a worker exception into data, so the
+    parent learns *which* item failed instead of getting whichever
+    traceback the pool surfaces first."""
+    try:
+        return ("ok", worker(item))
+    except Exception as error:  # lint: disable=DET005 — boundary: re-raised with item context in the parent
+        return (
+            "err",
+            (type(error).__name__, str(error), traceback.format_exc()),
+        )
 
 
 def default_processes(item_count: int) -> int:
@@ -52,6 +89,38 @@ def _picklable(value: object) -> bool:
     return True
 
 
+def _merge_outcomes(
+    worker: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    outcomes: Sequence[Tuple],
+) -> List[ResultT]:
+    """Replace trapped failures with one serial retry each; propagate
+    (with the item attached) only when the retry fails too."""
+    results: List[ResultT] = []
+    for index, (item, outcome) in enumerate(zip(items, outcomes)):
+        status, payload = outcome
+        if status == "ok":
+            results.append(payload)
+            continue
+        error_name, message, pool_traceback = payload
+        log.warning(
+            "parallel_map: worker raised %s on item #%d (%r) in the "
+            "pool; retrying serially once\n%s",
+            error_name, index, item, pool_traceback,
+        )
+        try:
+            results.append(worker(item))
+        except Exception as error:  # lint: disable=DET005 — boundary: wrapped in WorkerItemError with the item attached
+            raise WorkerItemError(
+                item, index, f"{type(error).__name__}: {error}"
+            ) from error
+        log.info(
+            "parallel_map: serial retry of item #%d (%r) succeeded",
+            index, item,
+        )
+    return results
+
+
 def parallel_map(
     worker: Callable[[ItemT], ResultT],
     items: Sequence[ItemT],
@@ -64,7 +133,10 @@ def parallel_map(
     sizes the pool to :func:`default_processes`; ``processes<=1``,
     a single item, or an unpicklable worker/item runs serially; a
     worker whose *results* refuse to pickle triggers a serial rerun
-    (logged), so callers always get the full result list.
+    (logged), so callers always get the full result list. A worker
+    that raises in the pool is logged with its item and retried
+    serially once; if the retry fails the sweep raises
+    :class:`WorkerItemError` naming the item.
     """
     items = list(items)
     if not items:
@@ -83,12 +155,14 @@ def parallel_map(
             "%d item(s) serially", len(items),
         )
         return _serial_map(worker, items)
+    trapped = functools.partial(_trap, worker)
     try:
         with multiprocessing.Pool(count) as pool:
-            return pool.map(worker, items)
+            outcomes = pool.map(trapped, items)
     except (multiprocessing.pool.MaybeEncodingError, pickle.PicklingError):
         log.warning(
             "parallel_map: results not picklable; rerunning "
             "%d item(s) serially", len(items),
         )
         return _serial_map(worker, items)
+    return _merge_outcomes(worker, items, outcomes)

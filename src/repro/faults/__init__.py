@@ -8,7 +8,9 @@ clock: :mod:`repro.faults.plan` declares *what* fails and when,
 overlay / BGP substrate / BGMP tree layer, and
 :mod:`repro.faults.chaos` runs seeded randomized schedules and checks
 the post-recovery invariants (non-overlapping claims, loop-free
-trees, members reachable).
+trees, members reachable). :mod:`repro.faults.soak` chains long chaos
+runs as crash-resumable checkpointed segments (see
+:mod:`repro.checkpoint`).
 """
 
 from repro.faults.chaos import (
@@ -20,6 +22,13 @@ from repro.faults.chaos import (
     check_no_overlapping_claims,
 )
 from repro.faults.injector import FaultInjector, RecoveryRecord
+from repro.faults.soak import (
+    SoakConfig,
+    SoakHarness,
+    SoakResult,
+    SoakWorld,
+    replay_dump,
+)
 from repro.faults.plan import (
     DelayJitter,
     Fault,
@@ -55,7 +64,12 @@ __all__ = [
     "RecoveryRecord",
     "RouterCrash",
     "RouterRestart",
+    "SoakConfig",
+    "SoakHarness",
+    "SoakResult",
+    "SoakWorld",
     "check_loop_free_trees",
     "check_members_reachable",
     "check_no_overlapping_claims",
+    "replay_dump",
 ]

@@ -238,24 +238,27 @@ class FaultInjector:
                 else:
                     overlay.heal(node_a, node_b)
 
+    # The window-end restores are bound methods (not local closures) so
+    # a pending restore sitting in the event queue survives a
+    # checkpoint (closures cannot cross the pickle boundary; see
+    # repro.checkpoint).
+
     def _loss_window(self, fault: MessageLoss) -> None:
         overlay = self._require_overlay()
         previous = overlay.loss_rate
         overlay.loss_rate = fault.rate
+        self.sim.schedule_at(fault.until, self._end_loss_window, previous)
 
-        def restore() -> None:
-            overlay.loss_rate = previous
-            self.log.append((self.sim.now, "loss window over"))
-
-        self.sim.schedule_at(fault.until, restore)
+    def _end_loss_window(self, previous: float) -> None:
+        self._require_overlay().loss_rate = previous
+        self.log.append((self.sim.now, "loss window over"))
 
     def _jitter_window(self, fault: DelayJitter) -> None:
         overlay = self._require_overlay()
         previous = overlay.jitter
         overlay.jitter = fault.jitter
+        self.sim.schedule_at(fault.until, self._end_jitter_window, previous)
 
-        def restore() -> None:
-            overlay.jitter = previous
-            self.log.append((self.sim.now, "jitter window over"))
-
-        self.sim.schedule_at(fault.until, restore)
+    def _end_jitter_window(self, previous: float) -> None:
+        self._require_overlay().jitter = previous
+        self.log.append((self.sim.now, "jitter window over"))

@@ -577,6 +577,138 @@ class BroadExceptRule(Rule):
         return names
 
 
+# ----------------------------------------------------------------------
+# DET006 — snapshot-registered class gained uncovered state
+
+
+def _module_for_path(path: str) -> Optional[str]:
+    """Dotted module for a source path, anchored at the ``repro``
+    package (``src/repro/sim/engine.py`` -> ``repro.sim.engine``).
+    None for paths outside the package (e.g. lint_source defaults)."""
+    if not path.endswith(".py"):
+        return None
+    parts = path[:-3].replace("\\", "/").split("/")
+    if "repro" not in parts:
+        return None
+    anchored = parts[parts.index("repro"):]
+    if anchored and anchored[-1] == "__init__":
+        anchored = anchored[:-1]
+    return ".".join(anchored)
+
+
+class SnapshotCoverageRule(Rule):
+    """DET006: simulator-state classes with hand-written serialization
+    must not gain attributes their snapshot does not cover.
+
+    Classes registered in
+    :data:`repro.checkpoint.registry.SNAPSHOT_REGISTRY` (those with a
+    custom ``__reduce__``/``__getstate__`` or ``__slots__``) are
+    checked attribute-by-attribute: every ``self.attr = ...``
+    assignment and every ``__slots__`` entry must appear in the
+    registered allowlist. A new attribute therefore forces a conscious
+    edit of both the snapshot method and the registry — checkpoint
+    restore fidelity cannot rot silently.
+    """
+
+    code = "DET006"
+    summary = "snapshot-registered class attribute outside allowlist"
+
+    @staticmethod
+    def _registry() -> Dict[str, frozenset]:
+        from repro.checkpoint.registry import SNAPSHOT_REGISTRY
+
+        return SNAPSHOT_REGISTRY
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        module = _module_for_path(ctx.path)
+        if module is None:
+            return
+        registry = self._registry()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            allowed = registry.get(f"{module}:{node.name}")
+            if allowed is None:
+                continue
+            yield from self._check_class(ctx, node, allowed)
+
+    def _check_class(
+        self, ctx: ModuleContext, cls: ast.ClassDef, allowed: frozenset
+    ) -> Iterator[Finding]:
+        reported: Set[str] = set()
+        for attr, site in self._state_attributes(cls):
+            if attr in allowed or attr in reported:
+                continue
+            reported.add(attr)
+            yield self.finding(
+                ctx,
+                site,
+                f"attribute '{attr}' of snapshot-registered class "
+                f"{cls.name} is not covered by its snapshot allowlist "
+                "— extend __getstate__/__reduce__ AND "
+                "repro.checkpoint.registry, or restore will silently "
+                "drop it",
+            )
+
+    def _state_attributes(
+        self, cls: ast.ClassDef
+    ) -> Iterator[Tuple[str, ast.AST]]:
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._targets(target, cls)
+            elif isinstance(node, ast.AnnAssign):
+                yield from self._targets(node.target, cls)
+
+    def _targets(
+        self, target: ast.AST, cls: ast.ClassDef
+    ) -> Iterator[Tuple[str, ast.AST]]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._targets(element, cls)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            yield target.attr, target
+        elif (
+            isinstance(target, ast.Name)
+            and target.id == "__slots__"
+        ):
+            parent = self._slots_values(target, cls)
+            for name, site in parent:
+                yield name, site
+
+    @staticmethod
+    def _slots_values(
+        target: ast.Name, cls: ast.ClassDef
+    ) -> List[Tuple[str, ast.AST]]:
+        # Find the __slots__ assignment at class level and read its
+        # string elements.
+        found: List[Tuple[str, ast.AST]] = []
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets
+            ):
+                continue
+            value = stmt.value
+            elements = (
+                value.elts
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set))
+                else []
+            )
+            for element in elements:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    found.append((element.value, element))
+        return found
+
+
 #: Registry, ordered by code.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
@@ -584,6 +716,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     SetIterationRule(),
     MutableDefaultRule(),
     BroadExceptRule(),
+    SnapshotCoverageRule(),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -360,17 +360,24 @@ class MascNode:
         return prefix
 
     def _schedule_reannounce(self, pending: PendingClaim) -> None:
+        # Scheduled as a bound method keyed by serial (not a closure
+        # over the PendingClaim) so a pending re-announce timer in the
+        # event queue survives a checkpoint (repro.checkpoint).
         interval = self.config.reannounce_interval
         if interval is None:
             return
+        self.overlay.sim.schedule(
+            interval, self._reannounce_tick, pending.serial
+        )
 
-        def reannounce() -> None:
-            if self._find_pending(pending.serial) is not pending:
-                return
-            self._announce(pending)
-            self.overlay.sim.schedule(interval, reannounce)
-
-        self.overlay.sim.schedule(interval, reannounce)
+    def _reannounce_tick(self, serial: int) -> None:
+        pending = self._find_pending(serial)
+        if pending is None:
+            return
+        self._announce(pending)
+        self.overlay.sim.schedule(
+            self.config.reannounce_interval, self._reannounce_tick, serial
+        )
 
     def _arm_timer(self, prefix: Prefix, serial: int) -> Event:
         return self.overlay.sim.schedule(

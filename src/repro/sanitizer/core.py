@@ -41,9 +41,10 @@ names both the broken invariant and the events that led up to it.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Event, Simulator
 
@@ -163,6 +164,16 @@ class InvariantSanitizer:
         self.checks_run = 0
         #: Violations recorded in non-raising mode, as rendered strings.
         self.violations: List[str] = []
+        #: Violation-dump wiring (see :meth:`configure_dump`): with a
+        #: dump directory set, every violation — raised or recorded —
+        #: first writes a replayable ViolationDump next to the nearest
+        #: prior checkpoint.
+        self.dump_dir: Optional[str] = None
+        self.dump_checkpoint_path: Optional[str] = None
+        self.dump_context: Dict[str, object] = {}
+        self.replay_horizon: Optional[float] = None
+        #: Paths of dumps written so far, in order.
+        self.dumps: List[str] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -189,6 +200,68 @@ class InvariantSanitizer:
     def trace(self) -> List[TraceEntry]:
         """The remembered event trail, oldest first."""
         return list(self._trace)
+
+    # ------------------------------------------------------------------
+    # Violation dumps (time-travel debugging; see repro.checkpoint)
+
+    def configure_dump(
+        self,
+        directory: Optional[str],
+        checkpoint_path: Optional[str] = None,
+        context: Optional[Dict[str, object]] = None,
+        replay_horizon: Optional[float] = None,
+    ) -> "InvariantSanitizer":
+        """Arm (or with ``directory=None``, disarm) violation dumping.
+
+        With a directory set, any violation this sanitizer reports —
+        whether raised or recorded — first writes a
+        :class:`~repro.checkpoint.ViolationDump` there, pairing the
+        violation and its event window with the checkpoint at
+        ``checkpoint_path`` (the nearest checkpoint *before* the
+        violation; loaded lazily at dump time, so arming costs
+        nothing). ``replay_horizon`` is the clock time a replay must
+        run to in order to re-trigger the violation (the soak harness
+        keeps it at the current segment's end); it defaults to the
+        violation time itself. The wiring is plain data (paths, not
+        callables), so an armed sanitizer still checkpoints cleanly.
+        """
+        self.dump_dir = os.fspath(directory) if directory else None
+        self.dump_checkpoint_path = (
+            os.fspath(checkpoint_path) if checkpoint_path else None
+        )
+        self.dump_context = dict(context) if context else {}
+        self.replay_horizon = replay_horizon
+        return self
+
+    def _write_dump(self, violation: "InvariantViolation") -> None:
+        from repro import checkpoint as ckpt
+
+        nearest = None
+        if self.dump_checkpoint_path and os.path.exists(
+            self.dump_checkpoint_path
+        ):
+            nearest = ckpt.load(self.dump_checkpoint_path)
+        dump = ckpt.ViolationDump(
+            invariant=violation.invariant,
+            details=tuple(violation.details),
+            time=violation.time,
+            trace=tuple(entry.render() for entry in violation.trace),
+            replay_until=(
+                self.replay_horizon
+                if self.replay_horizon is not None
+                else violation.time
+            ),
+            checkpoint=nearest,
+            context=dict(self.dump_context),
+        )
+        os.makedirs(self.dump_dir, exist_ok=True)
+        name = (
+            f"violation-t{violation.time:g}-{violation.invariant}"
+            f"-{len(self.dumps)}.dump"
+        )
+        path = os.path.join(self.dump_dir, name)
+        ckpt.save_dump(dump, path)
+        self.dumps.append(path)
 
     # ------------------------------------------------------------------
     # Event hook
@@ -219,6 +292,8 @@ class InvariantSanitizer:
         violation = InvariantViolation(
             invariant, details, now, self.trace(), spans=spans
         )
+        if self.dump_dir is not None:
+            self._write_dump(violation)
         if self.raise_on_violation:
             raise violation
         self.violations.append(violation.render())

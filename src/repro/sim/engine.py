@@ -236,3 +236,33 @@ class Simulator:
         """Drop all pending events (the clock keeps its value)."""
         self._heap.clear()
         self._cancelled_pending = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (see repro.checkpoint)
+
+    def __getstate__(self) -> dict:
+        """Canonical snapshot state.
+
+        Cancelled timers are compacted out of the queue: they would
+        never fire, and dropping them here means a restored simulator
+        carries no dead weight and needs no ``_cancelled_pending``
+        bookkeeping transfer. The heap is stored fully sorted
+        ((time, seq) order), which is simultaneously a valid heap and
+        a canonical representation, so FIFO ordering of same-time
+        events survives the round trip exactly.
+        """
+        state = self.__dict__.copy()
+        state["_heap"] = sorted(
+            entry for entry in self._heap if not entry[2].cancelled
+        )
+        state["_cancelled_pending"] = 0
+        # itertools.count cannot be introspected without consuming it;
+        # its __reduce__ carries the next value.
+        state["_sequence"] = self._sequence.__reduce__()[1][0]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        sequence = state.pop("_sequence")
+        self.__dict__.update(state)
+        self._sequence = itertools.count(sequence)
+        # A sorted list satisfies the heap invariant as-is.

@@ -51,6 +51,32 @@ class RandomStreams:
         ).digest()
         return RandomStreams(int.from_bytes(digest[:8], "big"))
 
+    # ------------------------------------------------------------------
+    # Checkpoint support (see repro.checkpoint)
+
+    def getstate(self) -> tuple:
+        """Snapshot: the master seed plus every stream's Mersenne
+        state, in stream-name order (canonical and comparable)."""
+        return (
+            self._master_seed,
+            tuple(
+                (name, self._streams[name].getstate())
+                for name in sorted(self._streams)
+            ),
+        )
+
+    def setstate(self, state: tuple) -> None:
+        """Restore a :meth:`getstate` snapshot. Streams absent from
+        the snapshot are dropped; streams re-requested later are
+        re-derived from the master seed exactly as on first use."""
+        master_seed, stream_states = state
+        self._master_seed = master_seed
+        self._streams = {}
+        for name, rng_state in stream_states:
+            stream = random.Random()  # lint: disable=DET001 — state is overwritten below
+            stream.setstate(rng_state)
+            self._streams[name] = stream
+
 
 def default_stream(name: str) -> random.Random:
     """A deterministic seed-0 stream for components built without an

@@ -13,6 +13,21 @@ from enum import Enum
 from typing import Dict, List, Optional, Set
 
 
+def _restore_keyed(cls: type, identity: Dict[str, object]) -> object:
+    """Rebuild a hash-carrying object for pickle.
+
+    Domains, routers, and hosts define ``__hash__`` over identity
+    attributes and appear as dict keys / set elements inside their own
+    (cyclic) state, so the default pickle path can try to hash a
+    half-restored instance. Reconstructing through this helper sets the
+    identity attributes before any container re-insertion happens; the
+    remaining state follows through ``__setstate__`` as usual.
+    """
+    obj = cls.__new__(cls)
+    obj.__dict__.update(identity)
+    return obj
+
+
 class DomainKind(Enum):
     """Coarse role of a domain in the provider hierarchy."""
 
@@ -116,6 +131,13 @@ class Domain:
             return NotImplemented
         return self.domain_id == other.domain_id
 
+    def __reduce__(self):
+        return (
+            _restore_keyed,
+            (type(self), {"domain_id": self.domain_id}),
+            self.__dict__,
+        )
+
 
 class BorderRouter:
     """A border router of a domain.
@@ -163,6 +185,13 @@ class BorderRouter:
             return NotImplemented
         return self.domain == other.domain and self.name == other.name
 
+    def __reduce__(self):
+        return (
+            _restore_keyed,
+            (type(self), {"name": self.name, "domain": self.domain}),
+            self.__dict__,
+        )
+
 
 class Host:
     """An end host inside a domain: a group member and/or sender."""
@@ -181,3 +210,10 @@ class Host:
         if not isinstance(other, Host):
             return NotImplemented
         return self.domain == other.domain and self.name == other.name
+
+    def __reduce__(self):
+        return (
+            _restore_keyed,
+            (type(self), {"name": self.name, "domain": self.domain}),
+            self.__dict__,
+        )

@@ -311,6 +311,11 @@ class _NullSpan:
 
     __slots__ = ()
 
+    def __reduce__(self):
+        # Pickle back to the shared singleton so `span is NULL_SPAN`
+        # identity survives a checkpoint round trip.
+        return (_restore_null_span, ())
+
     span_id = 0
     parent_id = None
     name = ""
@@ -397,6 +402,19 @@ class NullTracer:
     def __repr__(self) -> str:
         return "NULL_TRACER"
 
+    def __reduce__(self):
+        # Pickle back to the shared singleton so `tracer is NULL_TRACER`
+        # identity survives a checkpoint round trip.
+        return (_restore_null_tracer, ())
+
 
 #: Shared no-op tracer (safe to share: it holds no state).
 NULL_TRACER = NullTracer()
+
+
+def _restore_null_span() -> "_NullSpan":
+    return NULL_SPAN
+
+
+def _restore_null_tracer() -> "NullTracer":
+    return NULL_TRACER

@@ -1,0 +1,33 @@
+"""Picklable state-corruption callbacks for sanitizer/dump tests.
+
+These live in their own module (not a test file) so a checkpoint or
+violation dump that embeds one as a scheduled event can be restored
+from any process that can import the test tree — including the
+``python -m repro soak replay`` subprocess the CLI tests spawn.
+
+The corruption is a no-argument callable (references held as
+attributes, not event args) because the sanitizer renders event args
+with ``repr()``: a default object repr embeds a memory address, which
+is exactly the kind of non-snapshot-stable detail the determinism
+fingerprint would trip over.
+"""
+
+
+class TreeLoopCorruption:
+    """Point two on-tree routers' upstream pointers at each other —
+    the canonical loop-free-trees violation, injected deliberately."""
+
+    def __init__(self, bgmp, group):
+        self.bgmp = bgmp
+        self.group = group
+
+    def __call__(self):
+        routers = sorted(
+            self.bgmp.tree_routers(self.group), key=lambda r: r.name
+        )
+        first, second = routers[0], routers[1]
+        self.bgmp.router_of(first).table.get(self.group).upstream = second
+        self.bgmp.router_of(second).table.get(self.group).upstream = first
+
+    def __repr__(self):
+        return f"TreeLoopCorruption(group={self.group:#x})"

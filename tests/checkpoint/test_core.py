@@ -1,0 +1,194 @@
+"""Checkpoint primitives: capture/restore, file round trips, digest
+verification, and the simulator-specific snapshot details (cancelled
+compaction, FIFO tie-break survival)."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro import checkpoint as ckpt
+from repro.sim.engine import Simulator
+
+
+def _append(log, value):
+    log.append(value)
+
+
+def _noop():
+    pass
+
+
+class TestCheckpointObject:
+    def test_roundtrip_is_independent_copy(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(1.0, _append, log, "a")
+        world = {"sim": sim, "log": log}
+        copy = ckpt.roundtrip(world)
+        assert copy["sim"] is not sim
+        copy["sim"].run()
+        assert copy["log"] == ["a"]
+        # The origin world is untouched by the copy's run.
+        assert log == []
+        assert sim.pending == 1
+
+    def test_capture_records_sim_metadata(self):
+        sim = Simulator()
+        sim.schedule_at(2.0, _noop)
+        sim.run()
+        checkpoint = ckpt.capture(sim, label="after run")
+        assert checkpoint.time == 2.0
+        assert checkpoint.events == 1
+        assert checkpoint.label == "after run"
+        assert checkpoint.version == ckpt.CHECKPOINT_VERSION
+
+    def test_capture_of_closure_on_queue_raises(self):
+        sim = Simulator()
+        marker = []
+
+        def closure():
+            marker.append(1)
+
+        sim.schedule_at(1.0, closure)
+        with pytest.raises(ckpt.CheckpointError, match="snapshot-safe"):
+            ckpt.capture(sim)
+
+    def test_verify_rejects_tampered_digest(self):
+        checkpoint = ckpt.capture({"x": 1})
+        bad = dataclasses.replace(checkpoint, digest="0" * 64)
+        with pytest.raises(ckpt.CheckpointError, match="digest"):
+            bad.verify()
+
+    def test_verify_rejects_foreign_version(self):
+        checkpoint = ckpt.capture({"x": 1})
+        bad = dataclasses.replace(
+            checkpoint, version=ckpt.CHECKPOINT_VERSION + 1
+        )
+        with pytest.raises(ckpt.CheckpointError, match="version"):
+            bad.verify()
+
+
+class TestCheckpointFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        sim = Simulator()
+        sim.schedule_at(3.0, _noop)
+        path = tmp_path / "world.ckpt"
+        ckpt.save(ckpt.capture(sim), path)
+        restored = ckpt.restore(ckpt.load(path))
+        assert restored.pending == 1
+        restored.run()
+        assert restored.now == 3.0
+
+    def test_load_rejects_corrupted_payload(self, tmp_path):
+        path = tmp_path / "world.ckpt"
+        ckpt.save(ckpt.capture({"x": 1}), path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ckpt.CheckpointError):
+            ckpt.load(path)
+
+    def test_load_rejects_non_checkpoint_pickle(self, tmp_path):
+        path = tmp_path / "other.ckpt"
+        path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(ckpt.CheckpointError, match="not a Checkpoint"):
+            ckpt.load(path)
+
+    def test_load_rejects_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"this is not pickle data")
+        with pytest.raises(ckpt.CheckpointError):
+            ckpt.load(path)
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "world.ckpt"
+        ckpt.save(ckpt.capture({"x": 1}), path)
+        assert not (tmp_path / "world.ckpt.tmp").exists()
+
+
+class TestSimulatorSnapshot:
+    def test_cancelled_events_compacted_out(self):
+        sim = Simulator()
+        keep = sim.schedule_at(1.0, _noop)
+        drop = sim.schedule_at(2.0, _noop)
+        drop.cancel()
+        restored = ckpt.roundtrip(sim)
+        # The cancelled timer is gone, not restored-as-cancelled.
+        assert len(restored._heap) == 1
+        assert restored.pending == 1
+        assert keep is not None
+
+    def test_fifo_tie_break_survives_restore(self):
+        sim = Simulator()
+        log = []
+        for value in ("first", "second", "third"):
+            sim.schedule_at(1.0, _append, log, value)
+        restored = ckpt.roundtrip({"sim": sim, "log": log})
+        restored["sim"].run()
+        assert restored["log"] == ["first", "second", "third"]
+
+    def test_new_events_continue_sequence(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(1.0, _append, log, "pre")
+        restored = ckpt.roundtrip({"sim": sim, "log": log})
+        # An event scheduled after restore at the same time must fire
+        # after the restored one (sequence counter continued, not reset).
+        restored["sim"].schedule_at(1.0, _append, restored["log"], "post")
+        restored["sim"].run()
+        assert restored["log"] == ["pre", "post"]
+
+    def test_clock_and_counters_survive(self):
+        sim = Simulator()
+        sim.schedule_at(1.5, _noop)
+        sim.schedule_at(4.0, _noop)
+        sim.run(max_events=1)
+        restored = ckpt.roundtrip(sim)
+        assert restored.now == sim.now
+        assert restored.processed == sim.processed
+        assert restored.pending == sim.pending
+
+
+class TestViolationDump:
+    def _dump(self, checkpoint=None):
+        return ckpt.ViolationDump(
+            invariant="loop-free-trees",
+            details=("upstream loop through X",),
+            time=7.5,
+            trace=("#1 t=7 handler",),
+            replay_until=10.0,
+            checkpoint=checkpoint,
+            context={"seed": 3, "segment": 1},
+        )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        dump = self._dump(checkpoint=ckpt.capture({"w": 1}))
+        path = tmp_path / "v.dump"
+        ckpt.save_dump(dump, path)
+        loaded = ckpt.load_dump(path)
+        assert loaded == dump
+        assert loaded.replayable
+
+    def test_render_mentions_everything(self):
+        text = self._dump(checkpoint=ckpt.capture({"w": 1})).render()
+        assert "loop-free-trees" in text
+        assert "t=7.5" in text
+        assert "seed=3" in text
+        assert "replay until t=10" in text
+        assert "upstream loop through X" in text
+
+    def test_dump_without_checkpoint_is_not_replayable(self):
+        assert not self._dump().replayable
+
+    def test_load_rejects_non_dump(self, tmp_path):
+        path = tmp_path / "v.dump"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(ckpt.CheckpointError, match="not a ViolationDump"):
+            ckpt.load_dump(path)
+
+    def test_with_context_merges(self):
+        dump = ckpt.with_context(self._dump(), phase="settle")
+        assert dump.context == {
+            "seed": 3, "segment": 1, "phase": "settle",
+        }

@@ -93,3 +93,65 @@ class TestSweepDeterminism:
             r.events for r in parallel
         ]
         assert all(r.ok for r in parallel)
+
+
+# Captured at import: under fork-based pools the children see a
+# different os.getpid(), so _fails_only_in_pool distinguishes a
+# pool-side failure from the parent's serial retry.
+import os as _os
+
+import pytest
+
+from repro.experiments.runner import WorkerItemError
+
+_PARENT_PID = _os.getpid()
+
+
+def _fails_only_in_pool(value):
+    if _os.getpid() != _PARENT_PID:
+        raise RuntimeError(f"pool-only failure on {value}")
+    return value * 10
+
+
+def _fails_everywhere(value):
+    if value == 3:
+        raise ValueError(f"bad item {value}")
+    return value * 10
+
+
+class TestWorkerRetry:
+    def test_pool_failure_retried_serially_and_succeeds(self, caplog):
+        items = [1, 2, 3, 4]
+        with caplog.at_level("WARNING", logger="repro.experiments.runner"):
+            results = parallel_map(_fails_only_in_pool, items, processes=2)
+        assert results == [10, 20, 30, 40]
+        # Every item's pool failure was logged with the item itself.
+        retried = [
+            record for record in caplog.records
+            if "retrying serially once" in record.getMessage()
+        ]
+        assert len(retried) == len(items)
+        assert "RuntimeError" in retried[0].getMessage()
+        assert "(1)" in retried[0].getMessage()
+
+    def test_persistent_failure_raises_with_item_attached(self):
+        with pytest.raises(WorkerItemError) as exc_info:
+            parallel_map(_fails_everywhere, [1, 2, 3, 4], processes=2)
+        error = exc_info.value
+        assert error.item == 3
+        assert error.index == 2
+        assert "bad item 3" in str(error)
+        # Chained to the underlying worker exception.
+        assert isinstance(error.__cause__, ValueError)
+
+    def test_serial_path_raises_worker_exception_directly(self):
+        # With processes=1 there is no pool to trap in: the worker's
+        # own exception propagates, as a plain loop would.
+        with pytest.raises(ValueError, match="bad item 3"):
+            parallel_map(_fails_everywhere, [3], processes=1)
+
+    def test_successful_items_before_failure_still_computed(self):
+        # The failing item aborts the sweep, but only after the pool
+        # pass completed — no partial-kill of other workers mid-run.
+        with pytest.raises(WorkerItemError):
+            parallel_map(_fails_everywhere, [1, 3], processes=2)

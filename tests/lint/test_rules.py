@@ -305,3 +305,114 @@ class TestEngine:
         finding = lint("import random\nx = random.random()\n")[0]
         assert finding.render().startswith("case.py:2:")
         assert "DET001" in finding.render()
+
+
+class TestDet006SnapshotCoverage:
+    """DET006 cross-checks simulator-state classes against the
+    checkpoint registry's snapshot allowlists: a new ``self.attr``
+    (or ``__slots__`` entry) on a registered class must be added to
+    the allowlist — and thus, consciously, to the snapshot method."""
+
+    ENGINE_PATH = "src/repro/sim/engine.py"
+
+    def _codes(self, source, path):
+        return [f.code for f in lint_source(source, path=path)]
+
+    COVERED_SIMULATOR = (
+        "class Simulator:\n"
+        "    def __init__(self):\n"
+        "        self._now = 0.0\n"
+        "        self._heap = []\n"
+        "        self._processed = 0\n"
+    )
+
+    def test_covered_attributes_accepted(self):
+        assert self._codes(self.COVERED_SIMULATOR, self.ENGINE_PATH) == []
+
+    def test_uncovered_attribute_flagged(self):
+        source = self.COVERED_SIMULATOR + "        self._sneaky = {}\n"
+        findings = lint_source(source, path=self.ENGINE_PATH)
+        assert [f.code for f in findings] == ["DET006"]
+        assert "_sneaky" in findings[0].message
+        assert "Simulator" in findings[0].message
+
+    def test_uncovered_attribute_reported_once(self):
+        source = (
+            self.COVERED_SIMULATOR
+            + "        self._sneaky = {}\n"
+            + "    def reset(self):\n"
+            + "        self._sneaky = {}\n"
+        )
+        assert self._codes(source, self.ENGINE_PATH) == ["DET006"]
+
+    def test_annotated_assignment_flagged(self):
+        source = self.COVERED_SIMULATOR + "        self._cache: dict = {}\n"
+        assert self._codes(source, self.ENGINE_PATH) == ["DET006"]
+
+    def test_tuple_unpacking_target_flagged(self):
+        source = (
+            self.COVERED_SIMULATOR
+            + "        self._a, self._b = 1, 2\n"
+        )
+        assert self._codes(source, self.ENGINE_PATH) == [
+            "DET006", "DET006",
+        ]
+
+    def test_slots_entry_outside_allowlist_flagged(self):
+        source = (
+            "class Event:\n"
+            "    __slots__ = ('time', 'callback', 'bogus')\n"
+        )
+        findings = lint_source(source, path=self.ENGINE_PATH)
+        assert [f.code for f in findings] == ["DET006"]
+        assert "bogus" in findings[0].message
+
+    def test_unregistered_class_in_registered_module_accepted(self):
+        source = (
+            "class Helper:\n"
+            "    def __init__(self):\n"
+            "        self.anything = 1\n"
+        )
+        assert self._codes(source, self.ENGINE_PATH) == []
+
+    def test_registered_name_in_other_module_accepted(self):
+        source = self.COVERED_SIMULATOR + "        self._sneaky = {}\n"
+        assert self._codes(source, "src/repro/analysis/report.py") == []
+
+    def test_path_outside_package_accepted(self):
+        source = self.COVERED_SIMULATOR + "        self._sneaky = {}\n"
+        assert self._codes(source, "case.py") == []
+
+    def test_suppression_with_justification(self):
+        source = (
+            self.COVERED_SIMULATOR
+            + "        self._scratch = None"
+            + "  # lint: disable=DET006 — derived, rebuilt on restore\n"
+        )
+        assert self._codes(source, self.ENGINE_PATH) == []
+
+    def test_local_variables_not_flagged(self):
+        source = (
+            "class Simulator:\n"
+            "    def __init__(self):\n"
+            "        self._now = 0.0\n"
+            "        scratch = {}\n"
+            "        other._attr = scratch\n"
+        )
+        assert self._codes(source, self.ENGINE_PATH) == []
+
+    def test_registry_matches_real_sources(self):
+        """The shipped sources must be DET006-clean: every registered
+        class's attributes are covered by its allowlist."""
+        import pathlib
+
+        from repro.checkpoint.registry import SNAPSHOT_REGISTRY
+
+        root = pathlib.Path(__file__).resolve().parents[2] / "src"
+        modules = {key.split(":")[0] for key in SNAPSHOT_REGISTRY}
+        for module in sorted(modules):
+            path = root / (module.replace(".", "/") + ".py")
+            findings = lint_source(
+                path.read_text(), path=str(path)
+            )
+            assert [f for f in findings if f.code == "DET006"] == []

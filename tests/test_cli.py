@@ -141,3 +141,97 @@ class TestTraceCommand:
         assert code == 0
         assert (out / "fig4.trace.jsonl").exists()
         assert "fig4.sweep" in capsys.readouterr().out
+
+
+class TestBenchExitCodes:
+    FAST_BENCH = [
+        "bench", "--suite", "convergence", "--domains", "12",
+        "--flaps", "1", "--seeds", "2", "--skip-fig4",
+    ]
+
+    def test_passing_bench_exits_zero(self, capsys):
+        assert main(self.FAST_BENCH) == 0
+        out = capsys.readouterr().out
+        assert "overall speedup" in out
+
+    def test_perf_gate_failure_exits_one_with_verdict(self, capsys):
+        code = main(self.FAST_BENCH + ["--min-speedup", "999"])
+        assert code == 1
+        # The verdict is a single readable stderr line, not a traceback.
+        err = capsys.readouterr().err
+        verdicts = [
+            line for line in err.splitlines() if "bench FAILED" in line
+        ]
+        assert len(verdicts) == 1
+        assert "below --min-speedup gate 999.00x" in verdicts[0]
+        assert "Traceback" not in err
+
+    def test_min_speedup_parsed(self):
+        args = build_parser().parse_args(
+            ["bench", "--min-speedup", "1.5"]
+        )
+        assert args.min_speedup == 1.5
+        assert build_parser().parse_args(["bench"]).min_speedup == 0.0
+
+
+class TestSoakParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["soak", "run"])
+        assert args.action == "run"
+        assert args.seed == 0
+        assert args.segments == 3
+        assert args.segment_length == 30.0
+        assert args.faults == 2
+        assert args.dir == "soak-out"
+        assert args.kill_at is None
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["soak", "run", "--seed", "7", "--segments", "5",
+             "--segment-length", "12.5", "--kill-at", "40"]
+        )
+        assert args.seed == 7
+        assert args.segments == 5
+        assert args.segment_length == 12.5
+        assert args.kill_at == 40.0
+
+    def test_resume_has_no_kill_at_flag(self):
+        args = build_parser().parse_args(["soak", "resume"])
+        assert args.action == "resume"
+        assert args.kill_at is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["soak", "resume", "--kill-at", "5"]
+            )
+
+    def test_replay_takes_dump_path(self):
+        args = build_parser().parse_args(
+            ["soak", "replay", "out/violation.dump"]
+        )
+        assert args.action == "replay"
+        assert args.dump == "out/violation.dump"
+
+    def test_soak_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["soak"])
+
+
+class TestSoakCommand:
+    def test_run_prints_fingerprint_json(self, tmp_path, capsys):
+        code = main(
+            ["soak", "run", "--seed", "2", "--segments", "1",
+             "--segment-length", "10", "--dir", str(tmp_path)]
+        )
+        assert code == 0
+        fingerprint = json.loads(
+            capsys.readouterr().out.strip().splitlines()[-1]
+        )
+        assert "forwarding_digest" in fingerprint
+        assert "rib_digest" in fingerprint
+        assert (tmp_path / "soak-seed2-seg0.ckpt").exists()
+
+    def test_resume_without_checkpoints_exits_two(self, tmp_path):
+        code = main(
+            ["soak", "resume", "--dir", str(tmp_path / "nothing")]
+        )
+        assert code == 2
