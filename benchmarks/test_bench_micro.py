@@ -46,7 +46,7 @@ def test_bench_micro_grib_longest_match(benchmark):
                                 length))
         except ValueError:
             continue
-    for prefix in prefixes:
+    for prefix in sorted(prefixes):
         rib.install(Route(prefix, RouteType.GROUP, hop, (1,)))
     probes = [rng.randrange(0xE0000000, 0xF0000000) for _ in range(100)]
 

@@ -234,6 +234,13 @@ class BgmpNetwork:
         # batch, not one per speaker per round.
         seen: Set[Prefix] = set()
         for delta in deltas:
+            # Every delta kind re-anchors the same way — a covering
+            # route appearing, moving or vanishing all dirty the
+            # dependent groups — but the kinds are validated
+            # exhaustively so a new kind cannot slip through as a
+            # silent no-op (DET007).
+            if delta.kind not in ("added", "changed", "withdrawn"):
+                raise ValueError(f"unknown G-RIB delta kind: {delta.kind!r}")
             if delta.prefix in seen:
                 continue
             seen.add(delta.prefix)

@@ -1,0 +1,101 @@
+"""Ratcheting finding baseline.
+
+A baseline file records the findings a tree is *known* to carry, so
+the gate can be turned on everywhere at once and tightened over time:
+
+- a finding **in** the baseline is tolerated (reported as baselined),
+- a **new** finding fails the run,
+- fixing findings makes baseline entries stale — the run stays green
+  and suggests ``--update-baseline``, which rewrites the file to the
+  (smaller) current set. The ratchet: the baseline only ever shrinks
+  in normal operation; growing it is an explicit, reviewable edit.
+
+Entries are keyed by ``path::code::message-hash`` — line numbers are
+deliberately excluded so unrelated edits that shift code do not churn
+the file — with a count per key to tolerate repeated identical
+findings in one file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.rules import Finding
+
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    """The stable identity of a finding (line-number free)."""
+    digest = hashlib.sha256(finding.message.encode()).hexdigest()[:12]
+    path = finding.path.replace("\\", "/")
+    return f"{path}::{finding.code}::{digest}"
+
+
+class Baseline:
+    """A loaded baseline: key -> tolerated count."""
+
+    def __init__(self, counts: Dict[str, int] = None):
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not os.path.isfile(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{payload.get('version')!r}"
+            )
+        return cls(
+            {str(k): int(v) for k, v in payload["findings"].items()}
+        )
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            key = finding_key(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": dict(sorted(self.counts.items())),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split findings against the baseline.
+
+        Returns ``(new, baselined, stale_keys)``: findings not (or no
+        longer) covered, findings tolerated by the baseline, and
+        baseline keys nothing matched any more (fixed — the baseline
+        can shrink).
+        """
+        remaining = dict(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = finding_key(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(k for k, count in remaining.items() if count > 0)
+        return new, baselined, stale

@@ -1,0 +1,107 @@
+"""Per-file model cache — warm whole-program re-runs are incremental.
+
+Each analyzed file produces a plain-data entry (local-rule findings,
+the whole-program file model, the resolved suppression index). The
+entry is keyed by a SHA-256 over the file *content* plus the analyzer
+version and the active rule set, so any edit, schema bump, or
+``--select`` change invalidates exactly the affected files and
+nothing else. Entries are one JSON file each under the cache
+directory; a warm run re-reads sources only to hash them and skips
+parsing and rule execution entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.engine import SuppressionIndex
+from repro.lint.model import MODEL_VERSION
+from repro.lint.rules import Finding
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+#: Bump when the cache entry layout itself changes.
+CACHE_FORMAT = 1
+
+
+def content_key(source: str, path: str, rule_codes: Sequence[str]) -> str:
+    """The cache key for one file's analysis."""
+    digest = hashlib.sha256()
+    digest.update(f"format={CACHE_FORMAT};model={MODEL_VERSION};".encode())
+    digest.update(",".join(sorted(rule_codes)).encode())
+    digest.update(b";path=")
+    digest.update(path.encode())
+    digest.update(b";src=")
+    digest.update(source.encode())
+    return digest.hexdigest()
+
+
+class ModelCache:
+    """A directory of cached per-file analyses."""
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(
+        self, key: str
+    ) -> Optional[Tuple[List[Finding], Optional[Dict[str, Any]], SuppressionIndex]]:
+        """The cached analysis for ``key``, or None on a miss (absent
+        or unreadable entries both count as misses)."""
+        try:
+            with open(self._entry_path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding(**f) for f in payload["findings"]]
+            model = payload["model"]
+            index = SuppressionIndex.from_payload(payload["suppressions"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, model, index
+
+    def put(
+        self,
+        key: str,
+        findings: Sequence[Finding],
+        model: Optional[Dict[str, Any]],
+        index: SuppressionIndex,
+    ) -> None:
+        """Store one file's analysis. Writes are atomic (rename) so a
+        crashed run never leaves a torn entry behind."""
+        os.makedirs(self.directory, exist_ok=True)
+        payload = {
+            "findings": [vars(f) for f in findings],
+            "model": model,
+            "suppressions": index.to_payload(),
+        }
+        final = self._entry_path(key)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            dir=self.directory,
+            suffix=".tmp",
+            delete=False,
+            encoding="utf-8",
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, final)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass

@@ -1,0 +1,201 @@
+"""Pass 3 configuration — ``[tool.repro-lint]`` in ``pyproject.toml``.
+
+Supported keys::
+
+    [tool.repro-lint]
+    baseline = "lint-baseline.json"
+
+    [tool.repro-lint.severity]
+    DET003 = "warning"          # error | warning | ignore
+
+    [tool.repro-lint.per-path]
+    "tests/" = ["DET004:warning", "SUP001:ignore"]
+
+Per-path overrides apply to findings whose path starts with the given
+prefix (after ``/``-normalization); the most specific (longest)
+matching prefix wins per code. Severities: ``error`` findings fail
+the gate, ``warning`` findings print but do not fail, ``ignore``
+findings are dropped.
+
+Parsing uses :mod:`tomllib` when available (Python 3.11+). On older
+interpreters a minimal fallback parser understands exactly the
+subset above, so the config never becomes a hard dependency.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.rules import Finding
+
+try:
+    import tomllib
+except ImportError:  # Python < 3.11
+    tomllib = None
+
+SEVERITIES = ("error", "warning", "ignore")
+
+#: Built-in defaults: hygiene warnings don't fail the gate, every
+#: determinism rule does.
+DEFAULT_SEVERITY: Dict[str, str] = {"SUP001": "warning"}
+
+_SECTION_RE = re.compile(r"^\[(?P<name>[^\]]+)\]\s*$")
+_KEY_RE = re.compile(
+    r"""^(?P<key>"[^"]+"|[A-Za-z0-9_.-]+)\s*=\s*(?P<value>.+?)\s*$"""
+)
+
+
+def _fallback_parse(text: str) -> Dict[str, Dict[str, object]]:
+    """A tiny TOML-subset reader for the repro-lint tables: quoted or
+    bare keys, string values, and single-line string arrays."""
+    sections: Dict[str, Dict[str, object]] = {}
+    current: Optional[Dict[str, object]] = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        section = _SECTION_RE.match(stripped)
+        if section is not None:
+            current = sections.setdefault(section.group("name"), {})
+            continue
+        if current is None:
+            continue
+        pair = _KEY_RE.match(stripped)
+        if pair is None:
+            continue
+        key = pair.group("key").strip('"')
+        value = pair.group("value")
+        if value.startswith("[") and value.endswith("]"):
+            current[key] = [
+                item.strip().strip('"').strip("'")
+                for item in value[1:-1].split(",")
+                if item.strip()
+            ]
+        elif value.startswith(('"', "'")):
+            current[key] = value.strip('"').strip("'")
+        else:
+            current[key] = value
+    return sections
+
+
+class LintConfig:
+    """Resolved severity and baseline settings."""
+
+    def __init__(
+        self,
+        severity: Optional[Dict[str, str]] = None,
+        per_path: Optional[Dict[str, Dict[str, str]]] = None,
+        baseline: Optional[str] = None,
+    ):
+        self.severity = dict(DEFAULT_SEVERITY)
+        self.severity.update(severity or {})
+        #: path prefix -> {code: severity}
+        self.per_path = {
+            prefix.replace("\\", "/"): dict(codes)
+            for prefix, codes in (per_path or {}).items()
+        }
+        self.baseline = baseline
+        for code, level in self.severity.items():
+            self._check_level(code, level)
+        for prefix, codes in self.per_path.items():
+            for code, level in codes.items():
+                self._check_level(f"{prefix}:{code}", level)
+
+    @staticmethod
+    def _check_level(context: str, level: str) -> None:
+        if level not in SEVERITIES:
+            raise ValueError(
+                f"invalid severity {level!r} for {context} "
+                f"(expected one of {', '.join(SEVERITIES)})"
+            )
+
+    def severity_for(self, finding: Finding) -> str:
+        """The effective severity of one finding."""
+        path = finding.path.replace("\\", "/")
+        best: Optional[Tuple[int, str]] = None
+        for prefix, codes in self.per_path.items():
+            if finding.code in codes and path.startswith(prefix):
+                if best is None or len(prefix) > best[0]:
+                    best = (len(prefix), codes[finding.code])
+        if best is not None:
+            return best[1]
+        return self.severity.get(finding.code, "error")
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """``(errors, warnings)`` after dropping ignored findings."""
+        errors: List[Finding] = []
+        warnings: List[Finding] = []
+        for finding in findings:
+            level = self.severity_for(finding)
+            if level == "error":
+                errors.append(finding)
+            elif level == "warning":
+                warnings.append(finding)
+        return errors, warnings
+
+    # -- loading ------------------------------------------------------
+
+    @classmethod
+    def from_tables(
+        cls, tables: Dict[str, Dict[str, object]]
+    ) -> "LintConfig":
+        root = tables.get("tool.repro-lint", {})
+        severity = {
+            str(code): str(level)
+            for code, level in tables.get(
+                "tool.repro-lint.severity", {}
+            ).items()
+        }
+        per_path: Dict[str, Dict[str, str]] = {}
+        for prefix, entries in tables.get(
+            "tool.repro-lint.per-path", {}
+        ).items():
+            codes: Dict[str, str] = {}
+            for entry in entries if isinstance(entries, list) else []:
+                code, _, level = str(entry).partition(":")
+                codes[code.strip()] = (level or "ignore").strip()
+            per_path[str(prefix)] = codes
+        baseline = root.get("baseline")
+        return cls(
+            severity=severity,
+            per_path=per_path,
+            baseline=str(baseline) if baseline else None,
+        )
+
+    @classmethod
+    def load(cls, start_dir: str = ".") -> "LintConfig":
+        """The config from the nearest ``pyproject.toml`` at or above
+        ``start_dir`` (defaults when none is found)."""
+        directory = os.path.abspath(start_dir)
+        while True:
+            candidate = os.path.join(directory, "pyproject.toml")
+            if os.path.isfile(candidate):
+                return cls.from_pyproject(candidate)
+            parent = os.path.dirname(directory)
+            if parent == directory:
+                return cls()
+            directory = parent
+
+    @classmethod
+    def from_pyproject(cls, path: str) -> "LintConfig":
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if tomllib is not None:
+            data = tomllib.loads(text)
+            tool = data.get("tool", {}).get("repro-lint", {})
+            tables = {
+                "tool.repro-lint": {
+                    k: v
+                    for k, v in tool.items()
+                    if not isinstance(v, dict)
+                },
+                "tool.repro-lint.severity": tool.get("severity", {}),
+                "tool.repro-lint.per-path": tool.get("per-path", {}),
+            }
+        else:
+            tables = _fallback_parse(text)
+        return cls.from_tables(tables)

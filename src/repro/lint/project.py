@@ -1,0 +1,126 @@
+"""The whole-program lint driver.
+
+Ties the layers together: per-file analysis (cached by content hash),
+the linked :class:`ProjectModel`, the interprocedural rules, severity
+configuration, and the ratcheting baseline. ``python -m repro.lint``
+and ``python -m repro lint`` are thin shells over
+:func:`lint_project`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.lint.baseline import Baseline
+from repro.lint.cache import ModelCache, content_key
+from repro.lint.config import LintConfig
+from repro.lint.engine import (
+    SuppressionIndex,
+    analyze_source,
+    python_files,
+)
+from repro.lint.model import ProjectModel
+from repro.lint.rules import ALL_RULES, Finding, Rule
+from repro.lint.whole import run_whole_program
+
+
+@dataclass
+class ProjectLintResult:
+    """Everything one run produced, pre-rendering."""
+
+    #: All surviving findings (post-suppression, post-ignore), sorted.
+    findings: List[Finding] = field(default_factory=list)
+    #: Severity-error findings (these can fail the gate).
+    errors: List[Finding] = field(default_factory=list)
+    #: Severity-warning findings (reported, never fatal).
+    warnings: List[Finding] = field(default_factory=list)
+    #: Errors not covered by the baseline — the gate fails on these.
+    new_errors: List[Finding] = field(default_factory=list)
+    #: Errors tolerated by the baseline.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline keys nothing matched (fixed findings; ratchet down).
+    stale_keys: List[str] = field(default_factory=list)
+    #: Files analyzed.
+    files: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: The linked model (whole-program runs only).
+    project: Optional[ProjectModel] = None
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.new_errors)
+
+
+def lint_project(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    whole_program: bool = False,
+    cache: Optional[ModelCache] = None,
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Baseline] = None,
+    whole_codes: Optional[Set[str]] = None,
+) -> ProjectLintResult:
+    """Analyze every ``.py`` file under ``paths``.
+
+    ``cache=None`` disables the on-disk model cache. With
+    ``whole_program=True`` the per-file models are linked into a
+    project model and DET007–DET010 run on top. ``config`` defaults
+    to built-in severities; ``baseline`` defaults to empty (every
+    error is new).
+    """
+    active_rules = list(rules) if rules is not None else list(ALL_RULES)
+    rule_codes = sorted(rule.code for rule in active_rules)
+    config = config if config is not None else LintConfig()
+    baseline = baseline if baseline is not None else Baseline()
+
+    result = ProjectLintResult()
+    models: Dict[str, Dict] = {}
+    suppressions: Dict[str, SuppressionIndex] = {}
+    findings: List[Finding] = []
+
+    for path in python_files(paths):
+        result.files.append(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        entry = None
+        key = None
+        if cache is not None:
+            key = content_key(source, path, rule_codes)
+            entry = cache.get(key)
+        if entry is None:
+            file_findings, model, index = analyze_source(
+                source, path, active_rules
+            )
+            if cache is not None and key is not None:
+                cache.put(key, file_findings, model, index)
+        else:
+            file_findings, model, index = entry
+        findings.extend(file_findings)
+        suppressions[path] = index
+        if model is not None:
+            models[path] = model
+
+    if cache is not None:
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+
+    if whole_program:
+        result.project = ProjectModel(models)
+        findings.extend(
+            run_whole_program(result.project, suppressions, whole_codes)
+        )
+
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    errors, warnings = config.partition(findings)
+    new_errors, baselined, stale = baseline.apply(errors)
+
+    result.findings = errors + warnings
+    result.findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    result.errors = errors
+    result.warnings = warnings
+    result.new_errors = new_errors
+    result.baselined = baselined
+    result.stale_keys = stale
+    return result

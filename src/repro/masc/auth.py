@@ -26,7 +26,10 @@ from typing import Dict, Optional
 from repro.masc.messages import (
     ClaimMessage,
     CollisionMessage,
+    HelloMessage,
     ReleaseMessage,
+    RenewalAck,
+    RenewalMessage,
     SpaceAdvertisement,
 )
 from repro.masc.node import MascNode, MascOverlay
@@ -46,6 +49,14 @@ def _canonical(message) -> bytes:
     elif isinstance(message, SpaceAdvertisement):
         parts = ("advert", message.sender_id,
                  tuple(str(p) for p in message.prefixes))
+    elif isinstance(message, RenewalMessage):
+        parts = ("renew", message.sender_id, str(message.prefix),
+                 message.renew_serial, message.expires_at)
+    elif isinstance(message, RenewalAck):
+        parts = ("renew-ack", message.sender_id, str(message.prefix),
+                 message.renew_serial)
+    elif isinstance(message, HelloMessage):
+        parts = ("hello", message.sender_id)
     else:
         raise TypeError(f"unknown message {message!r}")
     return repr(parts).encode()

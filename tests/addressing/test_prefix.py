@@ -222,7 +222,7 @@ class TestCoalesce:
         # Compute exact input coverage via a fine partition of distinct
         # prefixes (dedup overlaps by keeping only maximal inputs).
         maximal = [
-            p for p in set(items)
+            p for p in sorted(set(items))
             if not any(o != p and o.contains(p) for o in items)
         ]
         total = 0

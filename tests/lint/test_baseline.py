@@ -1,0 +1,96 @@
+"""Ratcheting-baseline semantics: tolerate, fail, shrink."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import Baseline, finding_key
+from repro.lint.rules import Finding
+
+
+def finding(path="repro/a.py", code="DET001", message="bad", line=3):
+    return Finding(
+        code=code, message=message, path=path, line=line, column=0
+    )
+
+
+class TestFindingKey:
+    def test_key_is_line_number_free(self):
+        # Unrelated edits that shift code must not churn the baseline.
+        assert finding_key(finding(line=3)) == finding_key(finding(line=99))
+
+    def test_key_distinguishes_path_code_message(self):
+        base = finding_key(finding())
+        assert finding_key(finding(path="repro/b.py")) != base
+        assert finding_key(finding(code="DET002")) != base
+        assert finding_key(finding(message="worse")) != base
+
+    def test_key_normalizes_path_separators(self):
+        assert finding_key(
+            finding(path="repro\\a.py")
+        ) == finding_key(finding(path="repro/a.py"))
+
+
+class TestApply:
+    def test_known_findings_are_tolerated(self):
+        f = finding()
+        baseline = Baseline.from_findings([f])
+        new, baselined, stale = baseline.apply([f])
+        assert new == [] and baselined == [f] and stale == []
+
+    def test_new_findings_fail(self):
+        baseline = Baseline.from_findings([finding()])
+        fresh = finding(message="a different defect")
+        new, baselined, stale = baseline.apply([finding(), fresh])
+        assert new == [fresh]
+        assert len(baselined) == 1
+
+    def test_fixed_findings_surface_as_stale(self):
+        fixed = finding(message="since fixed")
+        baseline = Baseline.from_findings([finding(), fixed])
+        new, baselined, stale = baseline.apply([finding()])
+        assert new == []
+        assert stale == [finding_key(fixed)]
+
+    def test_repeated_identical_findings_count(self):
+        # Two identical findings in one file need a count of 2; a
+        # third instance is new.
+        pair = [finding(), finding()]
+        baseline = Baseline.from_findings(pair)
+        new, baselined, _ = baseline.apply(pair + [finding()])
+        assert len(baselined) == 2
+        assert len(new) == 1
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        target = str(tmp_path / "baseline.json")
+        baseline = Baseline.from_findings([finding(), finding()])
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        assert loaded.counts == baseline.counts
+
+    def test_missing_file_is_empty(self, tmp_path):
+        loaded = Baseline.load(str(tmp_path / "absent.json"))
+        assert len(loaded) == 0
+
+    def test_unsupported_version_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(str(target))
+
+    def test_ratchet_shrinks_on_update(self, tmp_path):
+        # Fix one finding, rewrite the baseline from the survivors:
+        # the file loses the entry and the fixed finding would now
+        # fail the gate if it ever came back.
+        target = str(tmp_path / "baseline.json")
+        kept, fixed = finding(), finding(message="since fixed")
+        Baseline.from_findings([kept, fixed]).save(target)
+
+        survivors = [kept]
+        Baseline.from_findings(survivors).save(target)
+        reloaded = Baseline.load(target)
+        assert finding_key(fixed) not in reloaded.counts
+        new, _, _ = reloaded.apply([kept, fixed])
+        assert new == [fixed]

@@ -1,0 +1,143 @@
+"""Model-cache behavior: keying, invalidation, and the warm-run win.
+
+The acceptance bar for the incremental analyzer is concrete: a warm
+whole-program re-run against the on-disk cache must be at least 3x
+faster than the cold run that populated it.
+"""
+
+import time
+
+from repro.lint.cache import ModelCache, content_key
+from repro.lint.engine import analyze_source
+from repro.lint.project import lint_project
+
+
+def make_module(index):
+    """A realistic-sized module: enough functions that parsing and
+    rule execution dominate the per-file cost."""
+    parts = [f'"""Synthetic module {index}."""\n']
+    for n in range(40):
+        parts.append(
+            f"def fn_{index}_{n}(x, rng):\n"
+            f"    total = x + {n}\n"
+            f"    for step in range(3):\n"
+            f"        total += rng.randint(0, step + 1)\n"
+            f"    if total > {n}:\n"
+            f"        return fn_{index}_{(n + 1) % 40}"
+            f"(total - 1, rng) if False else total\n"
+            f"    return total\n"
+        )
+    return "".join(parts)
+
+
+def write_tree(root, count):
+    package = root / "repro" / "synth"
+    package.mkdir(parents=True)
+    for index in range(count):
+        (package / f"mod_{index}.py").write_text(make_module(index))
+    return str(package)
+
+
+class TestContentKey:
+    def test_key_changes_with_source(self):
+        a = content_key("x = 1\n", "m.py", ["DET001"])
+        b = content_key("x = 2\n", "m.py", ["DET001"])
+        assert a != b
+
+    def test_key_changes_with_path_and_rules(self):
+        base = content_key("x = 1\n", "m.py", ["DET001"])
+        assert content_key("x = 1\n", "n.py", ["DET001"]) != base
+        assert content_key("x = 1\n", "m.py", ["DET002"]) != base
+
+    def test_key_ignores_rule_order(self):
+        assert content_key(
+            "x = 1\n", "m.py", ["DET001", "DET002"]
+        ) == content_key("x = 1\n", "m.py", ["DET002", "DET001"])
+
+
+class TestModelCache:
+    def test_round_trip(self, tmp_path):
+        cache = ModelCache(str(tmp_path / "cache"))
+        source = "import random\nrandom.random()\n"
+        findings, model, index = analyze_source(source, "repro/x.py")
+        key = content_key(source, "repro/x.py", ["DET001"])
+        cache.put(key, findings, model, index)
+        entry = cache.get(key)
+        assert entry is not None
+        cached_findings, cached_model, cached_index = entry
+        assert [vars(f) for f in cached_findings] == [
+            vars(f) for f in findings
+        ]
+        assert cached_model == model
+        assert cached_index.to_payload() == index.to_payload()
+
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = ModelCache(str(tmp_path / "cache"))
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        (directory / ("f" * 64 + ".json")).write_text("{not json")
+        cache = ModelCache(str(directory))
+        assert cache.get("f" * 64) is None
+
+
+class TestProjectCaching:
+    def test_warm_run_hits_and_edit_invalidates_one_file(self, tmp_path):
+        package = write_tree(tmp_path, 4)
+        cache_dir = str(tmp_path / "cache")
+
+        cold = lint_project([package], cache=ModelCache(cache_dir))
+        assert cold.cache_misses == 4 and cold.cache_hits == 0
+
+        warm = lint_project([package], cache=ModelCache(cache_dir))
+        assert warm.cache_hits == 4 and warm.cache_misses == 0
+
+        edited = tmp_path / "repro" / "synth" / "mod_0.py"
+        edited.write_text(edited.read_text() + "\nEXTRA = 1\n")
+        third = lint_project([package], cache=ModelCache(cache_dir))
+        assert third.cache_hits == 3 and third.cache_misses == 1
+
+    def test_cached_findings_match_uncached(self, tmp_path):
+        package = tmp_path / "repro" / "synth"
+        package.mkdir(parents=True)
+        (package / "dirty.py").write_text(
+            "import random\n"
+            "def draw():\n"
+            "    return random.random()\n"
+        )
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_project([str(package)], cache=ModelCache(cache_dir))
+        warm = lint_project([str(package)], cache=ModelCache(cache_dir))
+        no_cache = lint_project([str(package)])
+        assert [vars(f) for f in warm.findings] == [
+            vars(f) for f in cold.findings
+        ] == [vars(f) for f in no_cache.findings]
+
+    def test_warm_whole_program_run_is_3x_faster(self, tmp_path):
+        package = write_tree(tmp_path, 12)
+        cache_dir = str(tmp_path / "cache")
+
+        # lint: disable-file=DET002 — this test measures the analyzer's
+        # own warm/cold wall time; perf_counter is the measurement, not
+        # simulation state.
+        start = time.perf_counter()
+        cold = lint_project(
+            [package], whole_program=True, cache=ModelCache(cache_dir)
+        )
+        cold_elapsed = time.perf_counter() - start
+        assert cold.cache_misses == 12
+
+        start = time.perf_counter()
+        warm = lint_project(
+            [package], whole_program=True, cache=ModelCache(cache_dir)
+        )
+        warm_elapsed = time.perf_counter() - start
+        assert warm.cache_hits == 12
+
+        assert warm_elapsed < cold_elapsed / 3, (
+            f"warm {warm_elapsed:.4f}s vs cold {cold_elapsed:.4f}s — "
+            "the cache no longer skips parse/rule work"
+        )

@@ -1,0 +1,141 @@
+"""The command-line contract: ``python -m repro.lint`` and its
+``python -m repro lint`` alias share flags and the 0/1/2 exit codes."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+CLEAN = "def double(x):\n    return x * 2\n"
+DIRTY = (
+    "import random\n"
+    "def draw():\n"
+    "    return random.random()\n"
+)
+
+
+def run_lint(args, cwd, module="repro.lint"):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    return subprocess.run(
+        [sys.executable, "-m", module] + args,
+        cwd=str(cwd),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    package = tmp_path / "repro" / "synth"
+    package.mkdir(parents=True)
+    (package / "clean.py").write_text(CLEAN)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, tree):
+        proc = run_lint(["repro", "--no-cache"], tree)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_findings_exit_one(self, tree):
+        (tree / "repro" / "synth" / "dirty.py").write_text(DIRTY)
+        proc = run_lint(["repro", "--no-cache"], tree)
+        assert proc.returncode == 1
+        assert "DET001" in proc.stdout
+
+    def test_usage_error_exits_two(self, tree):
+        assert run_lint(["--bogus-flag"], tree).returncode == 2
+        assert run_lint(
+            ["repro", "--select", "NOPE9"], tree
+        ).returncode == 2
+
+    def test_whole_program_selection_requires_the_flag(self, tree):
+        proc = run_lint(["repro", "--select", "DET008"], tree)
+        assert proc.returncode == 2
+        assert "--whole-program" in proc.stderr
+
+
+class TestReproAlias:
+    def test_alias_matches_direct_module(self, tree):
+        (tree / "repro" / "synth" / "dirty.py").write_text(DIRTY)
+        direct = run_lint(["repro", "--no-cache"], tree)
+        alias = run_lint(
+            ["lint", "repro", "--no-cache"], tree, module="repro"
+        )
+        assert alias.returncode == direct.returncode == 1
+        assert alias.stdout == direct.stdout
+
+    def test_alias_forwards_usage_errors(self, tree):
+        assert run_lint(
+            ["lint", "--bogus-flag"], tree, module="repro"
+        ).returncode == 2
+
+    def test_alias_is_listed_in_repro_help(self, tree):
+        proc = run_lint(["--help"], tree, module="repro")
+        assert proc.returncode == 0
+        assert "lint" in proc.stdout
+        assert "0 clean, 1 findings, 2 usage" in proc.stdout
+
+
+class TestFormatsAndBaseline:
+    def test_json_format(self, tree):
+        (tree / "repro" / "synth" / "dirty.py").write_text(DIRTY)
+        proc = run_lint(
+            ["repro", "--no-cache", "--format", "json"], tree
+        )
+        payload = json.loads(proc.stdout)
+        assert any(f["code"] == "DET001" for f in payload)
+        assert all(f["severity"] == "error" for f in payload)
+
+    def test_sarif_output_file(self, tree):
+        (tree / "repro" / "synth" / "dirty.py").write_text(DIRTY)
+        proc = run_lint(
+            ["repro", "--no-cache", "--format", "sarif",
+             "--output", "lint.sarif"],
+            tree,
+        )
+        assert proc.returncode == 1
+        sarif = json.loads((tree / "lint.sarif").read_text())
+        assert sarif["version"] == "2.1.0"
+        results = sarif["runs"][0]["results"]
+        assert any(r["ruleId"] == "DET001" for r in results)
+
+    def test_baseline_ratchet_through_the_cli(self, tree):
+        (tree / "repro" / "synth" / "dirty.py").write_text(DIRTY)
+        update = run_lint(
+            ["repro", "--no-cache", "--baseline", "base.json",
+             "--update-baseline"],
+            tree,
+        )
+        assert update.returncode == 0
+        # Baselined findings no longer fail the gate...
+        tolerated = run_lint(
+            ["repro", "--no-cache", "--baseline", "base.json"], tree
+        )
+        assert tolerated.returncode == 0
+        assert "baselined" in tolerated.stderr
+        # ...but a new finding still does.
+        (tree / "repro" / "synth" / "worse.py").write_text(DIRTY)
+        regressed = run_lint(
+            ["repro", "--no-cache", "--baseline", "base.json"], tree
+        )
+        assert regressed.returncode == 1
+
+    def test_explain_and_list_rules(self, tree):
+        explain = run_lint(["--explain", "DET008"], tree)
+        assert explain.returncode == 0
+        assert "DET008" in explain.stdout
+        unknown = run_lint(["--explain", "DET999"], tree)
+        assert unknown.returncode == 2
+        listing = run_lint(["--list-rules"], tree)
+        assert listing.returncode == 0
+        for code in ("DET001", "DET007", "DET010"):
+            assert code in listing.stdout

@@ -1,0 +1,129 @@
+"""``[tool.repro-lint]`` configuration: severities, per-path
+overrides, and the no-tomllib fallback parser."""
+
+import pytest
+
+from repro.lint.config import LintConfig, _fallback_parse
+from repro.lint.rules import Finding
+
+
+def finding(path="src/repro/a.py", code="DET003"):
+    return Finding(code=code, message="m", path=path, line=1, column=0)
+
+
+PYPROJECT = """
+[project]
+name = "example"
+
+[tool.repro-lint]
+baseline = "lint-baseline.json"
+
+[tool.repro-lint.severity]
+DET003 = "warning"
+DET005 = "ignore"
+
+[tool.repro-lint.per-path]
+"tests/" = ["DET004:warning", "SUP001:ignore"]
+"tests/lint/" = ["DET004:error"]
+"""
+
+
+class TestSeverityResolution:
+    def test_default_is_error(self):
+        assert LintConfig().severity_for(finding()) == "error"
+
+    def test_sup001_defaults_to_warning(self):
+        assert LintConfig().severity_for(
+            finding(code="SUP001")
+        ) == "warning"
+
+    def test_explicit_severity_overrides(self):
+        config = LintConfig(severity={"DET003": "warning"})
+        assert config.severity_for(finding()) == "warning"
+
+    def test_longest_matching_prefix_wins(self):
+        config = LintConfig(per_path={
+            "tests/": {"DET004": "warning"},
+            "tests/lint/": {"DET004": "error"},
+        })
+        assert config.severity_for(
+            finding(path="tests/other/t.py", code="DET004")
+        ) == "warning"
+        assert config.severity_for(
+            finding(path="tests/lint/t.py", code="DET004")
+        ) == "error"
+
+    def test_partition_drops_ignored(self):
+        config = LintConfig(severity={"DET005": "ignore"})
+        errors, warnings = config.partition([
+            finding(code="DET001"),
+            finding(code="DET005"),
+            finding(code="SUP001"),
+        ])
+        assert [f.code for f in errors] == ["DET001"]
+        assert [f.code for f in warnings] == ["SUP001"]
+
+    def test_invalid_severity_raises(self):
+        with pytest.raises(ValueError):
+            LintConfig(severity={"DET001": "fatal"})
+
+
+class TestLoading:
+    def test_from_pyproject(self, tmp_path):
+        target = tmp_path / "pyproject.toml"
+        target.write_text(PYPROJECT)
+        config = LintConfig.from_pyproject(str(target))
+        assert config.baseline == "lint-baseline.json"
+        assert config.severity["DET003"] == "warning"
+        assert config.severity["DET005"] == "ignore"
+        assert config.per_path["tests/"] == {
+            "DET004": "warning", "SUP001": "ignore",
+        }
+        assert config.per_path["tests/lint/"] == {"DET004": "error"}
+
+    def test_load_walks_up_to_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(PYPROJECT)
+        nested = tmp_path / "src" / "repro"
+        nested.mkdir(parents=True)
+        config = LintConfig.load(str(nested))
+        assert config.baseline == "lint-baseline.json"
+
+    def test_load_without_pyproject_is_defaults(self, tmp_path):
+        config = LintConfig.load(str(tmp_path))
+        assert config.baseline is None
+        assert config.severity_for(finding()) == "error"
+
+
+class TestFallbackParser:
+    def test_parses_the_supported_subset(self):
+        tables = _fallback_parse(PYPROJECT)
+        assert tables["tool.repro-lint"]["baseline"] == (
+            "lint-baseline.json"
+        )
+        assert tables["tool.repro-lint.severity"]["DET003"] == "warning"
+        assert tables["tool.repro-lint.per-path"]["tests/"] == [
+            "DET004:warning", "SUP001:ignore",
+        ]
+
+    def test_fallback_matches_tomllib_result(self):
+        # Both parsers must produce the same LintConfig for the
+        # documented subset (the CI matrix spans 3.10 and 3.12).
+        from_fallback = LintConfig.from_tables(_fallback_parse(PYPROJECT))
+        tomllib = pytest.importorskip("tomllib")
+        data = tomllib.loads(PYPROJECT)["tool"]["repro-lint"]
+        from_tomllib = LintConfig.from_tables({
+            "tool.repro-lint": {
+                k: v for k, v in data.items() if not isinstance(v, dict)
+            },
+            "tool.repro-lint.severity": data["severity"],
+            "tool.repro-lint.per-path": data["per-path"],
+        })
+        assert from_fallback.severity == from_tomllib.severity
+        assert from_fallback.per_path == from_tomllib.per_path
+        assert from_fallback.baseline == from_tomllib.baseline
+
+    def test_comments_and_blank_lines_ignored(self):
+        tables = _fallback_parse(
+            "# comment\n\n[tool.repro-lint]\n# another\nbaseline = 'b.json'\n"
+        )
+        assert tables["tool.repro-lint"]["baseline"] == "b.json"

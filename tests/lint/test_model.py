@@ -1,0 +1,251 @@
+"""Call-graph and name-resolution tests for the project model.
+
+The graph is approximate-but-conservative: these tests pin down the
+resolution cases the whole-program rules rely on (aliased imports,
+``functools.partial``, methods reached through typed attributes) and
+the cases that must *not* produce edges (unknown receivers).
+"""
+
+import ast
+
+from repro.lint.model import (
+    ProjectModel,
+    extract_model,
+    module_for_path,
+    summarize_callable,
+)
+
+
+def build_project(files):
+    """A linked ProjectModel from {path: source} in-memory files."""
+    models = {}
+    for path, source in files.items():
+        models[path] = extract_model(ast.parse(source), path, source)
+    return ProjectModel(models)
+
+
+def edge_pairs(project):
+    return {(caller, callee) for caller, callee, _ in project.edges}
+
+
+class TestModuleForPath:
+    def test_anchors_at_repro(self):
+        assert module_for_path("src/repro/sim/engine.py") == (
+            "repro.sim.engine"
+        )
+
+    def test_init_maps_to_package(self):
+        assert module_for_path("src/repro/masc/__init__.py") == "repro.masc"
+
+    def test_outside_package_is_none(self):
+        assert module_for_path("scripts/run.py") is None
+
+
+class TestSummaries:
+    def test_lambda_and_partial(self):
+        lam = ast.parse("f(lambda: 1)").body[0].value.args[0]
+        assert summarize_callable(lam)["type"] == "lambda"
+        part = ast.parse("f(partial(g, 2))").body[0].value.args[0]
+        summary = summarize_callable(part)
+        assert summary["type"] == "partial"
+        assert summary["inner"] == {
+            "type": "name", "name": "g", "lineno": 1,
+        }
+
+
+class TestCallGraph:
+    def test_plain_cross_module_call(self):
+        project = build_project({
+            "repro/a.py": "def helper():\n    return 1\n",
+            "repro/b.py": (
+                "from repro.a import helper\n"
+                "def caller():\n    return helper()\n"
+            ),
+        })
+        assert ("repro.b:caller", "repro.a:helper") in edge_pairs(project)
+
+    def test_aliased_from_import(self):
+        project = build_project({
+            "repro/a.py": "def helper():\n    return 1\n",
+            "repro/b.py": (
+                "from repro.a import helper as h\n"
+                "def caller():\n    return h()\n"
+            ),
+        })
+        assert ("repro.b:caller", "repro.a:helper") in edge_pairs(project)
+
+    def test_aliased_module_import(self):
+        project = build_project({
+            "repro/a.py": "def helper():\n    return 1\n",
+            "repro/b.py": (
+                "import repro.a as ra\n"
+                "def caller():\n    return ra.helper()\n"
+            ),
+        })
+        assert ("repro.b:caller", "repro.a:helper") in edge_pairs(project)
+
+    def test_partial_argument_counts_as_reference(self):
+        project = build_project({
+            "repro/a.py": (
+                "from functools import partial\n"
+                "def tick(n):\n    return n\n"
+                "def arm(sim):\n"
+                "    sim.schedule(1.0, partial(tick, 3))\n"
+            ),
+        })
+        assert ("repro.a:arm", "repro.a:tick") in edge_pairs(project)
+
+    def test_bound_method_argument_counts_as_reference(self):
+        project = build_project({
+            "repro/a.py": (
+                "class Node:\n"
+                "    def on_timer(self):\n        pass\n"
+                "    def arm(self, sim):\n"
+                "        sim.schedule(1.0, self.on_timer)\n"
+            ),
+        })
+        assert (
+            "repro.a:Node.arm", "repro.a:Node.on_timer"
+        ) in edge_pairs(project)
+
+    def test_method_through_self_attribute_type(self):
+        project = build_project({
+            "repro/engine.py": (
+                "class Engine:\n"
+                "    def run(self):\n        pass\n"
+            ),
+            "repro/node.py": (
+                "from repro.engine import Engine\n"
+                "class Node:\n"
+                "    def __init__(self):\n"
+                "        self.engine = Engine()\n"
+                "    def go(self):\n"
+                "        self.engine.run()\n"
+            ),
+        })
+        assert (
+            "repro.node:Node.go", "repro.engine:Engine.run"
+        ) in edge_pairs(project)
+
+    def test_method_through_annotated_parameter(self):
+        project = build_project({
+            "repro/engine.py": (
+                "class Engine:\n"
+                "    def run(self):\n        pass\n"
+            ),
+            "repro/use.py": (
+                "from repro.engine import Engine\n"
+                "def drive(engine: Engine):\n"
+                "    engine.run()\n"
+            ),
+        })
+        assert (
+            "repro.use:drive", "repro.engine:Engine.run"
+        ) in edge_pairs(project)
+
+    def test_base_class_method_walk(self):
+        project = build_project({
+            "repro/base.py": (
+                "class Base:\n"
+                "    def run(self):\n        pass\n"
+            ),
+            "repro/child.py": (
+                "from repro.base import Base\n"
+                "class Child(Base):\n"
+                "    pass\n"
+                "def drive(c: Child):\n"
+                "    c.run()\n"
+            ),
+        })
+        assert (
+            "repro.child:drive", "repro.base:Base.run"
+        ) in edge_pairs(project)
+
+    def test_instantiation_resolves_to_init(self):
+        project = build_project({
+            "repro/engine.py": (
+                "class Engine:\n"
+                "    def __init__(self):\n        pass\n"
+            ),
+            "repro/use.py": (
+                "from repro.engine import Engine\n"
+                "def make():\n    return Engine()\n"
+            ),
+        })
+        assert (
+            "repro.use:make", "repro.engine:Engine.__init__"
+        ) in edge_pairs(project)
+
+    def test_unknown_receiver_produces_no_edge(self):
+        project = build_project({
+            "repro/a.py": (
+                "def caller(thing):\n"
+                "    thing.run()\n"
+            ),
+            "repro/b.py": (
+                "class Engine:\n"
+                "    def run(self):\n        pass\n"
+            ),
+        })
+        assert not any(
+            caller == "repro.a:caller" for caller in
+            (c for c, _ in edge_pairs(project))
+        )
+
+    def test_reachability_is_transitive(self):
+        project = build_project({
+            "repro/a.py": (
+                "def deep():\n    return 1\n"
+                "def mid():\n    return deep()\n"
+                "def top():\n    return mid()\n"
+            ),
+        })
+        reached = set(project.reachable_from("repro.a:top"))
+        assert {"repro.a:mid", "repro.a:deep"} <= reached
+
+
+class TestModelFacts:
+    def test_schedule_site_and_forward_param(self):
+        source = (
+            "def arm(sim, callback):\n"
+            "    sim.schedule(1.0, callback)\n"
+        )
+        model = extract_model(ast.parse(source), "repro/a.py", source)
+        record = model["functions"]["arm"]
+        assert len(record["schedule_sites"]) == 1
+        assert record["forward_params"] == [1]
+
+    def test_mutable_globals_detected(self):
+        source = (
+            "CACHE = {}\n"
+            "LIMIT = 3\n"
+        )
+        model = extract_model(ast.parse(source), "repro/a.py", source)
+        assert model["globals"]["CACHE"]["mutable"]
+        assert not model["globals"]["LIMIT"]["mutable"]
+
+    def test_dispatch_chain_collected_once(self):
+        source = (
+            "def handle(m):\n"
+            "    if isinstance(m, A):\n"
+            "        pass\n"
+            "    elif isinstance(m, B):\n"
+            "        pass\n"
+        )
+        model = extract_model(ast.parse(source), "repro/a.py", source)
+        chains = model["functions"]["handle"]["dispatch_chains"]
+        assert len(chains) == 1
+        assert chains[0]["tests"] == [["A"], ["B"]]
+
+    def test_kind_tests_collect_string_literals(self):
+        source = (
+            "def handle(d):\n"
+            "    if d.kind == 'added':\n"
+            "        pass\n"
+            "    elif d.kind in ('changed', 'withdrawn'):\n"
+            "        pass\n"
+        )
+        model = extract_model(ast.parse(source), "repro/a.py", source)
+        tests = model["functions"]["handle"]["kind_tests"]
+        values = sorted(v for t in tests for v in t["values"])
+        assert values == ["added", "changed", "withdrawn"]

@@ -61,7 +61,7 @@ class TestDet001UnseededRandom:
     def test_suppression_of_other_code_does_not_apply(self):
         source = (
             "import random\n"
-            "rng = random.Random()  # lint: disable=DET002\n"
+            "rng = random.Random()  # lint: disable=DET002 — wrong code\n"
         )
         assert codes(source) == ["DET001"]
 
