@@ -76,4 +76,27 @@ SNAPSHOT_REGISTRY: Dict[str, FrozenSet[str]] = {
         "name",
         "domain",
     }),
+    # The sanitizer's __getstate__ drops its process-local violation
+    # listeners (serve-layer callbacks bound to thread primitives);
+    # every other attribute rides along verbatim.
+    "repro.sanitizer.core:InvariantSanitizer": frozenset({
+        "tracer",
+        "bgmp",
+        "groups",
+        "masc_siblings",
+        "claim_bindings",
+        "check_every",
+        "raise_on_violation",
+        "_trace",
+        "_sim",
+        "_events_seen",
+        "checks_run",
+        "violations",
+        "dump_dir",
+        "dump_checkpoint_path",
+        "dump_context",
+        "replay_horizon",
+        "dumps",
+        "_listeners",
+    }),
 }

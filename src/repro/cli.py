@@ -21,10 +21,26 @@ a shell:
   continues after a crash from the latest one (fingerprints are
   byte-identical to an uninterrupted run), and ``soak replay``
   re-triggers a sanitizer violation from its dump file.
+- ``serve`` — the live telemetry hub: ``serve run`` executes a chaos
+  or fig2 workload with an HTTP/SSE hub attached (metrics deltas,
+  spans, BGMP trees, MASC claims, sanitizer feed — see
+  :mod:`repro.serve`); ``serve attach`` joins an ongoing soak
+  read-only from its latest boundary checkpoint. The run's
+  determinism fingerprint is the last stdout line, and ``--control``
+  re-runs the identical workload serve-free so CI can assert the two
+  fingerprints are byte-identical.
 
 Results (tables, reports) go to stdout; progress and diagnostics go to
 stderr through :mod:`logging`, controlled by ``-v`` / ``--quiet``, so
 piped output stays clean and the default output is unchanged.
+
+**Exit-code contract** (uniform across subcommands): ``0`` — clean
+run; ``1`` — findings (invariant violations, perf-gate or fingerprint
+failures, probe mismatches); ``2`` — operational or usage errors
+(unwritable output paths, missing checkpoints, bad arguments), always
+as a one-line diagnostic on stderr, never an unhandled traceback.
+``soak`` extends the range with ``3`` (invariant violation with a
+replayable dump) and ``4`` (replay did not reproduce).
 """
 
 from __future__ import annotations
@@ -140,10 +156,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     from repro.analysis.tracereport import render_run_report
 
+    # Exit-code contract (module docstring): operational failures --
+    # an unwritable --out path here, failed export writes below --
+    # exit 2 with a one-line diagnostic, never a traceback.
     out_dir = Path(args.out)
-    out_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        log.error("trace: cannot create --out %s: %s", out_dir, error)
+        return 2
     tracer = Tracer()
     profiler = EventLoopProfiler()
+    findings = 0
 
     if args.target == "fig2":
         config = SimulationConfig(
@@ -206,17 +230,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             registry=result.metrics, profiler=profiler
         )
         if result.violations:
+            # Findings, not an operational failure: exports are still
+            # written (they are the evidence), but the exit code is 1.
             log.warning(
                 "chaos run recorded %d invariant violations",
                 len(result.violations),
             )
+            findings = 1
 
     jsonl_path = out_dir / f"{args.target}.trace.jsonl"
     chrome_path = out_dir / f"{args.target}.chrome.json"
     metrics_path = out_dir / f"{args.target}.metrics.json"
-    write_jsonl(tracer, jsonl_path)
-    write_chrome_trace(tracer, chrome_path, profiler=profiler)
-    write_metrics_json(registry, metrics_path)
+    try:
+        write_jsonl(tracer, jsonl_path)
+        write_chrome_trace(tracer, chrome_path, profiler=profiler)
+        write_metrics_json(registry, metrics_path)
+    except OSError as error:
+        log.error("trace: cannot write exports: %s", error)
+        return 2
     log.info("wrote %s, %s, %s", jsonl_path, chrome_path, metrics_path)
 
     print(render_run_report(tracer, profiler, registry))
@@ -225,7 +256,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"trace:   {jsonl_path}")
     print(f"chrome:  {chrome_path}")
     print(f"metrics: {metrics_path}")
-    return 0
+    return findings
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -435,6 +466,93 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.checkpoint import CheckpointError
+    from repro.serve import (
+        AttachOptions,
+        ServeOptions,
+        attach_serve,
+        probe_hub,
+        run_serve,
+    )
+    from repro.serve.runner import wait_forever
+
+    def announce(hub) -> None:
+        print(f"serving on {hub.url}", file=sys.stderr)
+
+    try:
+        if args.action == "attach":
+            options = AttachOptions(
+                soak_dir=args.dir,
+                checkpoint=args.checkpoint,
+                segments=args.segments,
+                sample_every=args.sample_every,
+                host=args.host,
+                port=args.port,
+                serve=not args.control,
+            )
+            outcome = attach_serve(options, on_hub=announce)
+        else:
+            options = ServeOptions(
+                target=args.target,
+                seed=args.seed,
+                sample_every=args.sample_every,
+                host=args.host,
+                port=args.port,
+                serve=not args.control,
+                faults=args.faults,
+                tops=args.tops,
+                children=args.children,
+                days=args.days,
+            )
+            outcome = run_serve(options, on_hub=announce)
+    except (CheckpointError, OSError) as error:
+        log.error("serve %s failed: %s", args.action, error)
+        return 2
+
+    findings = 0
+    for violation in outcome.violations:
+        log.warning("serve: invariant violation: %s", violation)
+        findings = 1
+    if args.probe:
+        if outcome.hub is None:
+            log.error("serve: --probe requires serving (drop --control)")
+            return 2
+        errors, visited = probe_hub(outcome.hub.url)
+        for problem in errors:
+            log.error("probe: %s", problem)
+        print(
+            f"probe: {sum(visited.values())} payloads across "
+            f"{len(visited)} endpoints, {len(errors)} errors",
+            file=sys.stderr,
+        )
+        if errors:
+            findings = 1
+    if args.linger and outcome.hub is not None:
+        print(
+            f"finished; serving for {args.linger:g}s more "
+            "(Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        import threading
+
+        try:
+            threading.Event().wait(args.linger)
+        except KeyboardInterrupt:
+            pass
+    elif args.wait and outcome.hub is not None:
+        print("finished; serving until Ctrl-C", file=sys.stderr)
+        wait_forever()
+    if outcome.hub is not None:
+        outcome.hub.stop()
+    # The fingerprint is the last stdout line by contract: the CI
+    # smoke job diffs it between served and --control runs.
+    print(json.dumps(outcome.fingerprint, sort_keys=True))
+    return findings
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -571,6 +689,67 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_soak, seed=0, segments=0, segment_length=0.0,
         faults=0, dir="", kill_at=None,
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="live telemetry hub over a running simulation "
+             "(run | attach)",
+    )
+    serve_sub = serve.add_subparsers(dest="action", required=True)
+
+    def _serve_common(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--sample-every", type=int, default=25,
+                        help="events between published frames")
+        sp.add_argument("--host", default="127.0.0.1")
+        sp.add_argument("--port", type=int, default=0,
+                        help="0 = pick an ephemeral port")
+        sp.add_argument("--probe", action="store_true",
+                        help="self-scrape every endpoint afterwards "
+                             "and validate payload schemas (exit 1 on "
+                             "mismatch)")
+        sp.add_argument("--control", action="store_true",
+                        help="run the identical workload with no hub "
+                             "attached (the fingerprint control arm)")
+        sp.add_argument("--linger", type=float, default=0.0,
+                        help="keep serving this many seconds after "
+                             "the run finishes")
+        sp.add_argument("--wait", action="store_true",
+                        help="keep serving until Ctrl-C after the run "
+                             "finishes")
+
+    serve_run = serve_sub.add_parser(
+        "run", help="run a workload with the hub attached"
+    )
+    serve_run.add_argument("target", choices=("chaos", "fig2"),
+                           help="what to run under the hub")
+    serve_run.add_argument("--seed", type=int, default=0)
+    serve_run.add_argument("--faults", type=int, default=2,
+                           help="chaos: faults per run")
+    serve_run.add_argument("--tops", type=int, default=4,
+                           help="fig2: top-level domains")
+    serve_run.add_argument("--children", type=int, default=4,
+                           help="fig2: children per top")
+    serve_run.add_argument("--days", type=float, default=10.0,
+                           help="fig2: duration in days")
+    _serve_common(serve_run)
+    serve_run.set_defaults(func=_cmd_serve)
+
+    serve_attach = serve_sub.add_parser(
+        "attach",
+        help="join an ongoing soak read-only from its latest "
+             "boundary checkpoint",
+    )
+    serve_attach.add_argument("--dir", default="soak-out",
+                              help="the soak's checkpoint directory "
+                                   "(read-only)")
+    serve_attach.add_argument("--checkpoint", default=None,
+                              help="attach from this .ckpt instead of "
+                                   "the latest")
+    serve_attach.add_argument("--segments", type=int, default=None,
+                              help="segments to run while attached "
+                                   "(default: the chain's remainder)")
+    _serve_common(serve_attach)
+    serve_attach.set_defaults(func=_cmd_serve)
 
     # ``repro lint`` is an alias of ``python -m repro.lint`` and keeps
     # its exit-code contract (0 clean, 1 findings, 2 usage) — the same

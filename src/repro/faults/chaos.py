@@ -191,8 +191,16 @@ class ChaosHarness:
         #: byte-identical across same-seed runs.
         self.trace = trace
 
-    def run(self, seed: int) -> ChaosResult:
-        """One seeded run: schedule, inject, recover, check."""
+    def run(self, seed: int, on_world=None) -> ChaosResult:
+        """One seeded run: schedule, inject, recover, check.
+
+        ``on_world(scenario, tracer, injector, sanitizer)``, when
+        given, is invoked once everything is wired but before the
+        simulator runs — the attachment point for live observers
+        (the serve-mode telemetry sink). The callback must be
+        read-only with respect to the world; attaching one must not
+        change the run's fingerprint.
+        """
         scenario = self._factory()
         tracer: Optional[Tracer] = None
         if self.trace:
@@ -232,6 +240,8 @@ class ChaosHarness:
                 raise_on_violation=False,
                 tracer=tracer,
             ).attach(scenario.sim)
+        if on_world is not None:
+            on_world(scenario, tracer, injector, sanitizer)
         try:
             scenario.sim.run(until=scenario.horizon)
         finally:

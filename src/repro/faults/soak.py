@@ -162,6 +162,10 @@ class SoakHarness:
         scenario_factory: Optional[Callable[[], ChaosScenario]] = None,
         config: Optional[SoakConfig] = None,
         out_dir: Optional[str] = None,
+        on_world: Optional[Callable[[SoakWorld], None]] = None,
+        on_boundary: Optional[
+            Callable[[SoakWorld, Optional[str]], None]
+        ] = None,
     ):
         if scenario_factory is None:
             from repro.faults.scenarios import figure3_chaos_scenario
@@ -170,6 +174,16 @@ class SoakHarness:
         self._factory = scenario_factory
         self.config = config if config is not None else SoakConfig()
         self.out_dir = os.fspath(out_dir) if out_dir else None
+        #: Serve-mode attach points. ``on_world(world)`` fires once
+        #: per process with the live world (freshly built or restored)
+        #: before any segment runs; ``on_boundary(world, path)`` fires
+        #: at every segment boundary, after the checkpoint (if any)
+        #: was written. Both must be read-only with respect to the
+        #: world; observers they attach are checkpoint-transient (see
+        #: Simulator.__getstate__), so boundary checkpoints are
+        #: byte-equivalent to an unobserved run's.
+        self.on_world = on_world
+        self.on_boundary = on_boundary
 
     # ------------------------------------------------------------------
     # World lifecycle
@@ -209,6 +223,8 @@ class SoakHarness:
             world.sim.schedule_at(
                 kill_at, _hard_exit, name=KILL_EVENT_NAME
             )
+        if self.on_world is not None:
+            self.on_world(world)
         self._save_boundary(world)
         return self.run_world(world)
 
@@ -234,13 +250,17 @@ class SoakHarness:
             (world.sim.now, f"resumed segment {world.segment} from "
              f"{os.path.basename(checkpoint_path)}")
         )
+        if self.on_world is not None:
+            self.on_world(world)
         return self.run_world(world)
 
     def run_world(self, world: SoakWorld) -> SoakResult:
         """Run the remaining segments of ``world`` to completion."""
         while world.segment < world.config.segments:
             self.run_segment(world)
-            self._save_boundary(world)
+            path = self._save_boundary(world)
+            if self.on_boundary is not None:
+                self.on_boundary(world, path)
         return self._finish(world)
 
     # ------------------------------------------------------------------

@@ -44,7 +44,7 @@ from __future__ import annotations
 import os
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Event, Simulator
 
@@ -174,6 +174,11 @@ class InvariantSanitizer:
         self.replay_horizon: Optional[float] = None
         #: Paths of dumps written so far, in order.
         self.dumps: List[str] = []
+        #: Violation listeners (see :meth:`add_listener`). Process-
+        #: local observers — dropped from checkpoints, because a
+        #: listener is a property of the observing process (a serve
+        #: sink, a test probe), not of the simulated world.
+        self._listeners: List[Callable[["InvariantViolation"], None]] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -200,6 +205,46 @@ class InvariantSanitizer:
     def trace(self) -> List[TraceEntry]:
         """The remembered event trail, oldest first."""
         return list(self._trace)
+
+    # ------------------------------------------------------------------
+    # Violation listeners (live streaming; see repro.serve)
+
+    def add_listener(
+        self, listener: Callable[["InvariantViolation"], None]
+    ) -> "InvariantSanitizer":
+        """Register a callback invoked with every violation this
+        sanitizer reports — *before* it is raised or recorded, so
+        raising mode still streams. Listeners must be read-only with
+        respect to the simulated world; they exist so a telemetry
+        sink can observe violations without changing how the run
+        reacts to them. Registering twice is a no-op; returns self.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+        return self
+
+    def remove_listener(
+        self, listener: Callable[["InvariantViolation"], None]
+    ) -> None:
+        """Unregister a violation listener (no-op when absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support: listeners are process-local (often bound to
+    # thread primitives in the serve layer) and must not ride into a
+    # pickled world. Everything else round-trips as-is; see the
+    # SNAPSHOT_REGISTRY entry in repro.checkpoint.registry.
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_listeners"] = []
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Worlds checkpointed before listeners existed restore cleanly.
+        self.__dict__.setdefault("_listeners", [])
 
     # ------------------------------------------------------------------
     # Violation dumps (time-travel debugging; see repro.checkpoint)
@@ -292,6 +337,8 @@ class InvariantSanitizer:
         violation = InvariantViolation(
             invariant, details, now, self.trace(), spans=spans
         )
+        for listener in tuple(self._listeners):
+            listener(violation)
         if self.dump_dir is not None:
             self._write_dump(violation)
         if self.raise_on_violation:

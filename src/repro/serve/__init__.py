@@ -1,0 +1,69 @@
+"""Serve mode: a live telemetry hub over running simulations.
+
+``python -m repro serve run`` executes a reference workload (chaos or
+fig2) with a stdlib-only HTTP hub attached; ``python -m repro serve
+attach`` joins an ongoing soak read-only at its latest boundary
+checkpoint. Either way the hub streams metric deltas, spans, and
+violations as Server-Sent Events and answers on-demand snapshot
+requests (BGMP tree, MASC claim tables, profiler histograms), every
+payload carrying a versioned schema from :mod:`repro.serve.schemas`.
+
+The package's one invariant is **fingerprint neutrality**: a served
+run produces byte-identical determinism fingerprints to an unserved
+one. The pieces that enforce it:
+
+* :class:`TelemetrySink` — the only bridge between the simulation
+  thread and HTTP handlers; reads world state exclusively at event
+  boundaries, is ``checkpoint_transient``, and never mutates.
+* :mod:`~repro.serve.snapshots` — pure-read payload builders.
+* :class:`TelemetryHub` — the HTTP/SSE surface (handler threads only
+  ever see materialised frames or boundary-built snapshots).
+
+See docs/ARCHITECTURE.md §13 for the full design and the neutrality
+argument.
+"""
+
+from .attach import AttachOptions, attach_serve, load_attached_world
+from .hub import TelemetryHub
+from .runner import (
+    ServeOptions,
+    ServeRunOutcome,
+    probe_hub,
+    run_serve,
+)
+from .schemas import SCHEMAS, validate
+from .sink import TelemetrySink
+from .snapshots import (
+    ServeSources,
+    claims_snapshot,
+    health_snapshot,
+    live_groups,
+    metrics_snapshot,
+    profile_snapshot,
+    spans_snapshot,
+    tree_snapshot,
+    violations_snapshot,
+)
+
+__all__ = [
+    "AttachOptions",
+    "SCHEMAS",
+    "ServeOptions",
+    "ServeRunOutcome",
+    "ServeSources",
+    "TelemetryHub",
+    "TelemetrySink",
+    "attach_serve",
+    "claims_snapshot",
+    "health_snapshot",
+    "live_groups",
+    "load_attached_world",
+    "metrics_snapshot",
+    "probe_hub",
+    "profile_snapshot",
+    "run_serve",
+    "spans_snapshot",
+    "tree_snapshot",
+    "validate",
+    "violations_snapshot",
+]

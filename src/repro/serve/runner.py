@@ -1,0 +1,269 @@
+"""Drivers for ``repro serve run``: a workload with a hub attached.
+
+:func:`run_serve` builds one of the repo's reference workloads (the
+figure-3 chaos scenario or the fig2 MASC allocation run), attaches a
+:class:`~repro.serve.sink.TelemetrySink` + :class:`~repro.serve.hub.
+TelemetryHub` through the workload's ``on_world`` hook, executes the
+simulation on the calling thread while the hub serves, and returns the
+run's determinism fingerprint.
+
+The fingerprint is the point: ``serve run --control`` executes the
+identical workload with no sink and no hub, and the two fingerprints
+must be byte-identical (the CI serve-smoke job diffs them). Anything
+the serve path changed about the simulation would show up here first.
+
+:func:`probe_hub` is the self-test used by ``serve run --probe`` and
+the smoke job: scrape every endpoint of a live hub over real HTTP,
+validate each payload against its declared schema
+(:mod:`repro.serve.schemas`), and read at least one SSE frame.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from . import schemas
+from .hub import TelemetryHub
+from .sink import TelemetrySink
+from .snapshots import ServeSources
+
+
+@dataclass
+class ServeOptions:
+    """Everything ``serve run`` needs."""
+
+    target: str = "chaos"        # chaos | fig2
+    seed: int = 0
+    sample_every: int = 25
+    host: str = "127.0.0.1"
+    port: int = 0
+    serve: bool = True           # False = the --control arm
+    # chaos knobs
+    faults: int = 2
+    # fig2 knobs
+    tops: int = 4
+    children: int = 4
+    days: float = 10.0
+
+
+@dataclass
+class ServeRunOutcome:
+    """What one ``serve run`` produced."""
+
+    fingerprint: Dict[str, Any]
+    violations: List[str]
+    hub: Optional[TelemetryHub] = None
+    sink: Optional[TelemetrySink] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _chaos_fingerprint(result) -> Dict[str, Any]:
+    return {
+        "target": "chaos",
+        "seed": result.seed,
+        "events": result.events,
+        "schedule": result.schedule,
+        "claim_tables": result.claim_tables,
+        "forwarding_digest": result.forwarding_digest,
+    }
+
+
+def run_chaos_serve(
+    options: ServeOptions,
+    on_hub: Optional[Callable[[TelemetryHub], None]] = None,
+) -> ServeRunOutcome:
+    """One sanitized+traced figure-3 chaos run, hub attached (unless
+    ``options.serve`` is off)."""
+    from repro.faults.chaos import ChaosHarness
+    from repro.faults.scenarios import figure3_chaos_scenario
+
+    holder: Dict[str, Any] = {}
+
+    def attach(scenario, tracer, injector, sanitizer) -> None:
+        sources = ServeSources.from_chaos(
+            scenario,
+            tracer=tracer,
+            injector=injector,
+            sanitizer=sanitizer,
+            seed=options.seed,
+        )
+        sink = TelemetrySink(
+            sources, sample_every=options.sample_every
+        ).attach()
+        hub = TelemetryHub(
+            sink, host=options.host, port=options.port
+        ).start()
+        holder["sink"], holder["hub"] = sink, hub
+        if on_hub is not None:
+            on_hub(hub)
+
+    harness = ChaosHarness(
+        figure3_chaos_scenario,
+        n_faults=options.faults,
+        sanitize=True,
+        trace=True,
+    )
+    result = harness.run(
+        options.seed, on_world=attach if options.serve else None
+    )
+    sink = holder.get("sink")
+    if sink is not None:
+        sink.mark_finished()
+    return ServeRunOutcome(
+        fingerprint=_chaos_fingerprint(result),
+        violations=list(result.violations),
+        hub=holder.get("hub"),
+        sink=sink,
+    )
+
+
+def run_fig2_serve(
+    options: ServeOptions,
+    on_hub: Optional[Callable[[TelemetryHub], None]] = None,
+) -> ServeRunOutcome:
+    """One traced fig2 MASC allocation run, hub attached (unless
+    ``options.serve`` is off)."""
+    from repro.masc.simulation import ClaimSimulation, SimulationConfig
+    from repro.trace.tracer import Tracer
+
+    config = SimulationConfig(
+        top_count=options.tops,
+        children_per_top=options.children,
+        duration_days=options.days,
+        seed=options.seed,
+    )
+    simulation = ClaimSimulation(config, tracer=Tracer())
+    sink: Optional[TelemetrySink] = None
+    hub: Optional[TelemetryHub] = None
+    if options.serve:
+        sources = ServeSources.from_claim_simulation(
+            simulation, seed=options.seed
+        )
+        sink = TelemetrySink(
+            sources, sample_every=options.sample_every
+        ).attach()
+        hub = TelemetryHub(
+            sink, host=options.host, port=options.port
+        ).start()
+        if on_hub is not None:
+            on_hub(hub)
+    simulation.run()
+    if sink is not None:
+        sink.mark_finished()
+    managers = list(simulation.tops)
+    for children in simulation.children.values():
+        managers.extend(children)
+    fingerprint = {
+        "target": "fig2",
+        "seed": options.seed,
+        "events": simulation.sim.processed,
+        "time": simulation.sim.now,
+        "claim_tables": {
+            manager.name: [str(p) for p in manager.prefixes()]
+            for manager in managers
+        },
+    }
+    return ServeRunOutcome(
+        fingerprint=fingerprint, violations=[], hub=hub, sink=sink
+    )
+
+
+def run_serve(
+    options: ServeOptions,
+    on_hub: Optional[Callable[[TelemetryHub], None]] = None,
+) -> ServeRunOutcome:
+    """Dispatch on ``options.target``."""
+    if options.target == "chaos":
+        return run_chaos_serve(options, on_hub=on_hub)
+    if options.target == "fig2":
+        return run_fig2_serve(options, on_hub=on_hub)
+    raise ValueError(f"unknown serve target: {options.target!r}")
+
+
+# ----------------------------------------------------------------------
+# Probe (self-test over real HTTP)
+
+
+def _fetch_json(url: str, timeout: float = 10.0) -> Any:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _read_sse_frames(
+    url: str, count: int, timeout: float = 10.0
+) -> List[Dict[str, Any]]:
+    """Read up to ``count`` frames from an SSE stream (stops early at
+    the server's ``end`` event)."""
+    frames: List[Dict[str, Any]] = []
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        event_type = "message"
+        for raw in response:
+            line = raw.decode("utf-8").rstrip("\n")
+            if line.startswith("event:"):
+                event_type = line.split(":", 1)[1].strip()
+            elif line.startswith("data:"):
+                if event_type == "end":
+                    return frames
+                frames.append(json.loads(line.split(":", 1)[1]))
+                if len(frames) >= count:
+                    return frames
+            elif not line:
+                event_type = "message"
+    return frames
+
+
+def probe_hub(
+    base_url: str, want_frames: int = 1
+) -> Tuple[List[str], Dict[str, int]]:
+    """Scrape and validate every endpoint of a live hub.
+
+    Returns ``(errors, visited)`` where ``visited`` counts payloads
+    checked per endpoint; empty ``errors`` means the wire contract
+    holds end to end.
+    """
+    errors: List[str] = []
+    visited: Dict[str, int] = {}
+
+    def check(endpoint: str, payload: Any) -> None:
+        visited[endpoint] = visited.get(endpoint, 0) + 1
+        for problem in schemas.validate(payload):
+            errors.append(f"{endpoint}: {problem}")
+
+    health = _fetch_json(f"{base_url}/healthz")
+    check("/healthz", health)
+    check("/metrics", _fetch_json(f"{base_url}/metrics"))
+    check("/spans", _fetch_json(f"{base_url}/spans?limit=100"))
+    check("/claims", _fetch_json(f"{base_url}/claims"))
+    check("/violations", _fetch_json(f"{base_url}/violations"))
+    check("/profile", _fetch_json(f"{base_url}/profile"))
+    for group in health.get("groups", []):
+        check(f"/tree/{group}", _fetch_json(f"{base_url}/tree/{group}"))
+    frames = _read_sse_frames(f"{base_url}/stream?from=0", want_frames)
+    if len(frames) < want_frames:
+        errors.append(
+            f"/stream: wanted {want_frames} frames, got {len(frames)}"
+        )
+    for frame in frames:
+        check("/stream", frame)
+    # The status page itself: must serve and be HTML.
+    with urllib.request.urlopen(f"{base_url}/", timeout=10.0) as response:
+        page = response.read().decode("utf-8")
+        visited["/"] = 1
+        if "<!DOCTYPE html>" not in page:
+            errors.append("/: status page is not HTML")
+    return errors, visited
+
+
+def wait_forever() -> None:
+    """Park the main thread while the hub serves (Ctrl-C returns)."""
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass

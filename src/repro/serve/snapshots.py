@@ -1,0 +1,297 @@
+"""Read-only snapshot builders behind every serve-mode payload.
+
+:class:`ServeSources` names the live components one telemetry session
+reads — simulator, tracer, sanitizer, protocol layers — and the
+builder functions here turn them into plain, JSON-ready dicts carrying
+their versioned ``"schema"`` field (:mod:`repro.serve.schemas`).
+
+Every builder is a pure read: it allocates fresh containers, sorts
+every iteration that could otherwise leak identity-hash order, and
+never touches a mutating property (queue depth comes from
+``Simulator.queue_depth``, the non-compacting read). That discipline
+is what makes serve mode fingerprint-neutral — the builders run at
+event boundaries on the simulation thread, and the world cannot tell
+it was photographed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.trace.metrics import collect_metrics, flatten_registry
+from repro.trace.tracer import NULL_TRACER
+
+
+@dataclass
+class ServeSources:
+    """The components one telemetry session reads.
+
+    Unset layers contribute nothing — a fig2 session has no ``bgmp``,
+    a bare simulator benchmark has nothing but ``sim``. ``target`` and
+    ``seed`` label the run for ``/healthz``.
+    """
+
+    sim: Any
+    target: str = "custom"
+    seed: int = 0
+    tracer: Any = NULL_TRACER
+    profiler: Any = None
+    sanitizer: Any = None
+    injector: Any = None
+    bgmp: Any = None
+    bgp: Any = None
+    overlay: Any = None
+    masc_nodes: Sequence = ()
+    masc_managers: Sequence = ()
+    groups: Sequence[int] = field(default_factory=tuple)
+
+    @classmethod
+    def from_chaos(
+        cls,
+        scenario,
+        tracer=None,
+        injector=None,
+        sanitizer=None,
+        profiler=None,
+        seed: int = 0,
+    ) -> "ServeSources":
+        """Sources for a :class:`~repro.faults.chaos.ChaosScenario`
+        (the shape ``ChaosHarness.run(on_world=...)`` hands out)."""
+        return cls(
+            sim=scenario.sim,
+            target="chaos",
+            seed=seed,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+            profiler=profiler,
+            sanitizer=sanitizer,
+            injector=injector,
+            bgmp=scenario.bgmp,
+            bgp=scenario.bgmp.bgp if scenario.bgmp is not None else None,
+            overlay=scenario.masc_overlay,
+            masc_nodes=tuple(scenario.masc_nodes),
+            groups=(scenario.group,) if scenario.bgmp is not None else (),
+        )
+
+    @classmethod
+    def from_soak_world(
+        cls, world, tracer=None, profiler=None
+    ) -> "ServeSources":
+        """Sources for a :class:`~repro.faults.soak.SoakWorld` (built
+        fresh or restored from a boundary checkpoint)."""
+        scenario = world.scenario
+        return cls(
+            sim=world.sim,
+            target="soak",
+            seed=world.config.seed,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+            profiler=profiler,
+            sanitizer=world.sanitizer,
+            injector=world.injector,
+            bgmp=scenario.bgmp,
+            bgp=scenario.bgmp.bgp if scenario.bgmp is not None else None,
+            overlay=scenario.masc_overlay,
+            masc_nodes=tuple(scenario.masc_nodes),
+            groups=(scenario.group,) if scenario.bgmp is not None else (),
+        )
+
+    @classmethod
+    def from_claim_simulation(
+        cls, simulation, profiler=None, seed: int = 0
+    ) -> "ServeSources":
+        """Sources for a :class:`~repro.masc.simulation.ClaimSimulation`
+        (the fig2 workload: MASC managers, no BGMP plane)."""
+        managers = list(simulation.tops)
+        for children in simulation.children.values():
+            managers.extend(children)
+        return cls(
+            sim=simulation.sim,
+            target="fig2",
+            seed=seed,
+            tracer=simulation.tracer,
+            profiler=profiler,
+            masc_managers=tuple(managers),
+        )
+
+    def registry_snapshot(self):
+        """A fresh :class:`~repro.sim.stats.StatRegistry` gathering
+        every configured layer's counters right now."""
+        return collect_metrics(
+            masc_nodes=self.masc_nodes,
+            masc_managers=self.masc_managers,
+            bgp=self.bgp,
+            bgmp=self.bgmp,
+            overlay=self.overlay,
+            injector=self.injector,
+        )
+
+
+def live_groups(bgmp) -> List[int]:
+    """Groups with forwarding state anywhere in the network, sorted."""
+    if bgmp is None:
+        return []
+    found = set()
+    for router in bgmp.bgmp_routers():
+        for entry in router.table.entries():
+            found.add(entry.group)
+    return sorted(found)
+
+
+def metrics_snapshot(sources: ServeSources, seq: int) -> Dict[str, Any]:
+    """Cumulative ``repro.metrics/v1`` payload."""
+    counters, gauges = flatten_registry(sources.registry_snapshot())
+    return {
+        "schema": "repro.metrics/v1",
+        "seq": seq,
+        "time": sources.sim.now,
+        "events": sources.sim.processed,
+        "counters": counters,
+        "gauges": gauges,
+    }
+
+
+def spans_snapshot(
+    sources: ServeSources, limit: Optional[int] = None
+) -> Dict[str, Any]:
+    """``repro.spans/v1``: the span record, newest last; with
+    ``limit``, only the most recent ``limit`` spans."""
+    tracer = sources.tracer
+    spans = list(tracer.spans)
+    open_count = sum(1 for span in spans if span.open)
+    records = spans[-limit:] if limit else spans
+    return {
+        "schema": "repro.spans/v1",
+        "time": sources.sim.now,
+        "open": open_count,
+        "finished": len(spans) - open_count,
+        "spans": [span.to_dict() for span in records],
+    }
+
+
+def tree_snapshot(sources: ServeSources, group: int) -> Dict[str, Any]:
+    """``repro.tree/v1``: one group's BGMP tree — per-router entries
+    (parent target, outgoing list, upstream router) plus the
+    child-to-upstream edge list, in canonical router order."""
+    bgmp = sources.bgmp
+    entries: List[Dict[str, Any]] = []
+    edges: List[List[str]] = []
+    root = bgmp.root_domain_of(group) if bgmp is not None else None
+    if bgmp is not None:
+        for router in bgmp.tree_routers(group):
+            table = bgmp.router_of(router).table
+            for entry in sorted(
+                (e for e in table.entries() if e.group == group),
+                key=lambda e: (
+                    e.source_domain.name if e.source_domain else ""
+                ),
+            ):
+                entries.append({
+                    "router": router.name,
+                    "domain": router.domain.name,
+                    "source": (
+                        entry.source_domain.name
+                        if entry.source_domain else "*"
+                    ),
+                    "parent": (
+                        repr(entry.parent)
+                        if entry.parent is not None else None
+                    ),
+                    "oil": sorted(repr(c) for c in entry.children),
+                    "upstream": (
+                        entry.upstream.name
+                        if entry.upstream is not None else None
+                    ),
+                })
+                if entry.upstream is not None:
+                    edges.append([router.name, entry.upstream.name])
+    return {
+        "schema": "repro.tree/v1",
+        "group": f"{group:#x}",
+        "time": sources.sim.now,
+        "root_domain": root.name if root is not None else None,
+        "entries": entries,
+        "edges": edges,
+    }
+
+
+def claims_snapshot(sources: ServeSources) -> Dict[str, Any]:
+    """``repro.claims/v1``: per-MASC-node confirmed claim tables."""
+    nodes = []
+    for node in sorted(sources.masc_nodes, key=lambda n: n.name):
+        nodes.append({
+            "name": node.name,
+            "prefixes": [str(p) for p in node.claimed.prefixes()],
+        })
+    return {
+        "schema": "repro.claims/v1",
+        "time": sources.sim.now,
+        "nodes": nodes,
+    }
+
+
+def violations_snapshot(
+    sources: ServeSources, seen: Sequence[str]
+) -> Dict[str, Any]:
+    """``repro.violations/v1``: everything the sanitizer has reported.
+
+    ``seen`` is the sink's accumulated feed — it includes violations
+    delivered through the listener hook, which in raising mode never
+    reach the sanitizer's own ``violations`` list.
+    """
+    sanitizer = sources.sanitizer
+    dumps = list(sanitizer.dumps) if sanitizer is not None else []
+    return {
+        "schema": "repro.violations/v1",
+        "time": sources.sim.now,
+        "count": len(seen),
+        "violations": list(seen),
+        "dumps": dumps,
+    }
+
+
+def profile_snapshot(sources: ServeSources) -> Dict[str, Any]:
+    """``repro.profile/v1``: the profiler's wall-time summary (empty
+    when no profiler is attached)."""
+    profiler = sources.profiler
+    if profiler is None:
+        return {
+            "schema": "repro.profile/v1",
+            "events": 0,
+            "wall_seconds": 0.0,
+            "events_per_second": 0.0,
+            "max_queue_depth": 0,
+            "callbacks": {},
+        }
+    summary = profiler.summary()
+    return {
+        "schema": "repro.profile/v1",
+        "events": summary["events"],
+        "wall_seconds": summary["wall_seconds"],
+        "events_per_second": summary["events_per_second"],
+        "max_queue_depth": summary["max_queue_depth"],
+        "callbacks": summary["callbacks"],
+    }
+
+
+def health_snapshot(
+    sources: ServeSources,
+    state: str,
+    frames: int,
+    sample_every: int,
+    violation_count: int,
+) -> Dict[str, Any]:
+    """``repro.health/v1``: liveness, run identity, and what there is
+    to look at (the live group list)."""
+    return {
+        "schema": "repro.health/v1",
+        "state": state,
+        "target": sources.target,
+        "seed": sources.seed,
+        "time": sources.sim.now,
+        "events": sources.sim.processed,
+        "queue_depth": sources.sim.queue_depth,
+        "frames": frames,
+        "sample_every": sample_every,
+        "groups": [f"{g:#x}" for g in live_groups(sources.bgmp)],
+        "violations": violation_count,
+    }

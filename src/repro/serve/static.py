@@ -1,0 +1,107 @@
+"""The serve-mode status page: one self-contained HTML string.
+
+No build step, no bundler, no external assets — the page is inline
+CSS plus a short vanilla script that subscribes to ``/stream`` with
+``EventSource`` and polls ``/healthz``. It exists so ``python -m
+repro serve`` is inspectable from a browser with nothing installed;
+programmatic consumers should use the JSON endpoints directly.
+"""
+
+from __future__ import annotations
+
+STATUS_PAGE = """\
+<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro serve</title>
+<style>
+  body { font: 14px/1.5 ui-monospace, Menlo, Consolas, monospace;
+         margin: 2rem; max-width: 72rem; background: #101418;
+         color: #d8dee4; }
+  h1 { font-size: 1.2rem; }  h2 { font-size: 1rem; margin-top: 1.5rem; }
+  a { color: #7aa2f7; }
+  table { border-collapse: collapse; width: 100%; }
+  td, th { border-bottom: 1px solid #2a3038; padding: 0.2rem 0.6rem;
+           text-align: left; }
+  th { color: #8b949e; font-weight: normal; }
+  #frames { height: 18rem; overflow-y: auto; background: #0b0e11;
+            border: 1px solid #2a3038; padding: 0.5rem;
+            white-space: pre-wrap; word-break: break-all; }
+  .muted { color: #8b949e; }
+  .bad { color: #f7768e; }
+</style>
+</head>
+<body>
+<h1>repro serve <span id="state" class="muted">connecting&#8230;</span></h1>
+<table>
+  <tr><th>target</th><td id="target">&#8211;</td>
+      <th>seed</th><td id="seed">&#8211;</td></tr>
+  <tr><th>sim time</th><td id="time">&#8211;</td>
+      <th>events</th><td id="events">&#8211;</td></tr>
+  <tr><th>queue depth</th><td id="queue">&#8211;</td>
+      <th>frames</th><td id="framecount">&#8211;</td></tr>
+  <tr><th>violations</th><td id="violations">&#8211;</td>
+      <th>groups</th><td id="groups">&#8211;</td></tr>
+</table>
+<h2>endpoints</h2>
+<p class="muted">
+  <a href="/healthz">/healthz</a> &#183;
+  <a href="/metrics">/metrics</a> &#183;
+  <a href="/spans?limit=50">/spans</a> &#183;
+  <a href="/claims">/claims</a> &#183;
+  <a href="/violations">/violations</a> &#183;
+  <a href="/profile">/profile</a> &#183;
+  <span id="treelinks"></span>
+</p>
+<h2>live frames</h2>
+<div id="frames"></div>
+<script>
+"use strict";
+var $ = function (id) { return document.getElementById(id); };
+function health() {
+  fetch("/healthz").then(function (r) { return r.json(); })
+    .then(function (h) {
+      $("state").textContent = "[" + h.state + "]";
+      $("target").textContent = h.target;
+      $("seed").textContent = h.seed;
+      $("time").textContent = h.time.toFixed(2);
+      $("events").textContent = h.events;
+      $("queue").textContent = h.queue_depth;
+      $("framecount").textContent = h.frames;
+      $("violations").textContent = h.violations;
+      if (h.violations > 0) { $("violations").className = "bad"; }
+      $("groups").textContent = h.groups.join(" ") || "none";
+      $("treelinks").innerHTML = h.groups.map(function (g) {
+        return '<a href="/tree/' + g + '">/tree/' + g + "</a>";
+      }).join(" &#183; ");
+      if (h.state !== "finished") { setTimeout(health, 2000); }
+    })
+    .catch(function () { setTimeout(health, 2000); });
+}
+health();
+var log = $("frames");
+var source = new EventSource("/stream");
+source.onmessage = function (msg) {
+  var f = JSON.parse(msg.data);
+  var deltas = Object.keys(f.counters_delta).map(function (k) {
+    return k + "+" + f.counters_delta[k];
+  }).join(" ");
+  var line = "seq=" + f.seq + " t=" + f.time.toFixed(2) +
+    " events=" + f.events + " depth=" + f.queue_depth +
+    " spans+" + f.spans_started.length +
+    "/-" + f.spans_finished.length +
+    (f.violations.length ? " VIOLATIONS=" + f.violations.length : "") +
+    (deltas ? "  " + deltas : "");
+  log.textContent += line + "\\n";
+  log.scrollTop = log.scrollHeight;
+};
+source.addEventListener("end", function () {
+  $("state").textContent = "[finished]";
+  source.close();
+  health();
+});
+</script>
+</body>
+</html>
+"""

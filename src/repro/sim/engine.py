@@ -134,6 +134,19 @@ class Simulator:
         return len(self._heap) - self._cancelled_pending
 
     @property
+    def queue_depth(self) -> int:
+        """Live (non-cancelled) events still scheduled, computed
+        without touching the heap.
+
+        Unlike :attr:`pending` — which compacts cancelled entries off
+        the front of the heap as a side effect — this read mutates
+        nothing, so telemetry observers (the serve-mode
+        :class:`repro.serve.TelemetrySink`) can sample it at event
+        boundaries without perturbing checkpoint or fingerprint state.
+        """
+        return len(self._heap) - self._cancelled_pending
+
+    @property
     def processed(self) -> int:
         """Number of events executed so far."""
         return self._processed
@@ -250,8 +263,24 @@ class Simulator:
         ((time, seq) order), which is simultaneously a valid heap and
         a canonical representation, so FIFO ordering of same-time
         events survives the round trip exactly.
+
+        Observers and profilers whose owner declares
+        ``checkpoint_transient = True`` (the serve-mode telemetry
+        sink, the event-loop profiler) are process-local measurement
+        attachments, not world state: they are filtered out of the
+        snapshot, so a world being watched checkpoints exactly like
+        one that is not.
         """
         state = self.__dict__.copy()
+        observers = [
+            callback
+            for callback in self._observers
+            if not self._is_transient(callback)
+        ]
+        state["_observers"] = observers
+        state["_observer_snapshot"] = tuple(observers)
+        if self._is_transient(self._profiler):
+            state["_profiler"] = None
         state["_heap"] = sorted(
             entry for entry in self._heap if not entry[2].cancelled
         )
@@ -260,6 +289,15 @@ class Simulator:
         # its __reduce__ carries the next value.
         state["_sequence"] = self._sequence.__reduce__()[1][0]
         return state
+
+    @staticmethod
+    def _is_transient(attachment: Any) -> bool:
+        """True when an observer callback or profiler belongs to an
+        object declaring ``checkpoint_transient = True``."""
+        if attachment is None:
+            return False
+        owner = getattr(attachment, "__self__", attachment)
+        return bool(getattr(owner, "checkpoint_transient", False))
 
     def __setstate__(self, state: dict) -> None:
         sequence = state.pop("_sequence")

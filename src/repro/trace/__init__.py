@@ -22,7 +22,11 @@ from repro.trace.export import (
     write_jsonl,
     write_metrics_json,
 )
-from repro.trace.metrics import collect_metrics
+from repro.trace.metrics import (
+    collect_metrics,
+    flatten_registry,
+    metrics_delta,
+)
 from repro.trace.profiler import CallbackStats, EventLoopProfiler
 from repro.trace.tracer import (
     NULL_SPAN,
@@ -43,6 +47,8 @@ __all__ = [
     "EventLoopProfiler",
     "CallbackStats",
     "collect_metrics",
+    "flatten_registry",
+    "metrics_delta",
     "trace_to_jsonl",
     "trace_to_chrome",
     "write_jsonl",

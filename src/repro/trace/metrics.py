@@ -15,7 +15,7 @@ need not know the registry exists.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..sim.stats import StatRegistry
 
@@ -132,3 +132,47 @@ def collect_metrics(
         registry.gauge("sim.max_queue_depth").set(profiler.max_queue_depth)
 
     return registry
+
+
+# ----------------------------------------------------------------------
+# Incremental deltas (the serve-mode streaming form)
+
+
+def flatten_registry(
+    registry: StatRegistry,
+) -> Tuple[Dict[str, int], Dict[str, float]]:
+    """A registry's counters and gauges as two flat, key-sorted maps.
+
+    This is the comparable form behind :func:`metrics_delta`:
+    repeated :func:`collect_metrics` snapshots of the same components
+    flatten to maps over identical key spaces, so successive samples
+    diff cleanly.
+    """
+    counters = {
+        key: counter.count
+        for key, counter in sorted(registry.all_counters().items())
+    }
+    gauges = {
+        key: gauge.value
+        for key, gauge in sorted(registry.all_gauges().items())
+    }
+    return counters, gauges
+
+
+def metrics_delta(
+    previous: Dict[str, int], current: Dict[str, int]
+) -> Dict[str, int]:
+    """Changed counters only: ``{key: current - previous}`` for every
+    key whose value moved (new keys delta from zero), key-sorted.
+
+    Counters are monotonic, so a negative delta means the two maps
+    came from different worlds — callers should treat the ``current``
+    map as a fresh baseline instead (the serve sink does this when it
+    re-attaches across a soak segment restore).
+    """
+    delta: Dict[str, int] = {}
+    for key in sorted(current):
+        moved = current[key] - previous.get(key, 0)
+        if moved:
+            delta[key] = moved
+    return delta

@@ -99,6 +99,11 @@ class EventLoopProfiler:
     clock read, so profiled runs stay usable at paper scale.
     """
 
+    #: A profiler is a process-local measurement attachment (it reads
+    #: the wall clock by design); Simulator.__getstate__ drops it from
+    #: checkpoints so profiled worlds snapshot like unprofiled ones.
+    checkpoint_transient = True
+
     def __init__(self) -> None:
         self.callbacks: Dict[str, CallbackStats] = {}
         #: Queue depth over *simulation* time (deterministic).

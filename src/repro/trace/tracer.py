@@ -135,6 +135,7 @@ class Span:
         self.status = status
         if attrs:
             self.attrs.update(attrs)
+        self._tracer._note_finish(self)
 
     # Lexical use: ``with tracer.span(...) as span:`` — the tracer
     # pushes on entry and pops (finishing) on exit.
@@ -193,6 +194,10 @@ class Tracer:
         #: Events recorded outside any span (exported as instants).
         self.orphan_events: List[SpanEvent] = []
         self._stack: List[Span] = []
+        #: Span ids in finish order — the tail cursor for live span
+        #: streaming (see :meth:`tail`). Spans open forever never
+        #: appear here; :attr:`spans` covers them by start order.
+        self._finish_log: List[int] = []
 
     # ------------------------------------------------------------------
     # Clock
@@ -257,6 +262,35 @@ class Tracer:
         elif span in self._stack:
             self._stack.remove(span)
         span.finish(status="error" if failed else "ok")
+
+    def _note_finish(self, span: Span) -> None:
+        self._finish_log.append(span.span_id)
+
+    # ------------------------------------------------------------------
+    # Tailing (live span streaming; see repro.serve)
+
+    def cursor(self) -> Tuple[int, int]:
+        """The current tail position: ``(spans started, spans
+        finished)``. Pass it back to :meth:`tail` to get only what
+        happened since."""
+        return (len(self.spans), len(self._finish_log))
+
+    def tail(
+        self, cursor: Tuple[int, int] = (0, 0)
+    ) -> Tuple[List[Span], List[int], Tuple[int, int]]:
+        """Everything since ``cursor``: newly started spans (id
+        order), ids of newly finished spans (finish order), and the
+        advanced cursor.
+
+        This is the incremental read the serve-mode sink uses to
+        stream spans while a run executes: repeated ``tail`` calls
+        with the returned cursor see every span start and finish
+        exactly once, without rescanning the full record.
+        """
+        started_at, finished_at = cursor
+        started = self.spans[started_at:]
+        finished = self._finish_log[finished_at:]
+        return started, finished, (len(self.spans), len(self._finish_log))
 
     @property
     def current(self) -> Optional[Span]:
@@ -386,6 +420,12 @@ class NullTracer:
 
     def active_spans(self) -> List[Span]:
         return []
+
+    def cursor(self) -> Tuple[int, int]:
+        return (0, 0)
+
+    def tail(self, cursor: Tuple[int, int] = (0, 0)):
+        return [], [], (0, 0)
 
     def finished_spans(self) -> List[Span]:
         return []

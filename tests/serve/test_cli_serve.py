@@ -1,0 +1,117 @@
+"""The serve CLI surface and the trace exit-code contract."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestServeParser:
+    def test_serve_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_run_defaults(self):
+        args = build_parser().parse_args(["serve", "run", "chaos"])
+        assert args.action == "run"
+        assert args.target == "chaos"
+        assert args.seed == 0
+        assert args.sample_every == 25
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert not args.probe
+        assert not args.control
+        assert args.linger == 0.0
+
+    def test_serve_run_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "run", "fig9"])
+
+    def test_serve_attach_defaults(self):
+        args = build_parser().parse_args(["serve", "attach"])
+        assert args.action == "attach"
+        assert args.dir == "soak-out"
+        assert args.checkpoint is None
+        assert args.segments is None
+
+    def test_serve_attach_overrides(self):
+        args = build_parser().parse_args([
+            "serve", "attach", "--dir", "x", "--segments", "1",
+            "--sample-every", "5", "--probe",
+        ])
+        assert args.dir == "x"
+        assert args.segments == 1
+        assert args.sample_every == 5
+        assert args.probe
+
+
+class TestServeCommand:
+    def test_control_run_prints_fingerprint_last(self, capsys):
+        code = main(["serve", "run", "chaos", "--control"])
+        assert code == 0
+        last = capsys.readouterr().out.strip().splitlines()[-1]
+        fingerprint = json.loads(last)
+        assert fingerprint["target"] == "chaos"
+        assert fingerprint["forwarding_digest"]
+
+    def test_probe_with_control_is_a_usage_error(self):
+        assert main(
+            ["-q", "serve", "run", "chaos", "--control", "--probe"]
+        ) == 2
+
+    def test_served_probe_run(self, capsys):
+        code = main([
+            "serve", "run", "fig2", "--days", "3", "--tops", "2",
+            "--children", "2", "--sample-every", "5", "--probe",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "serving on http://127.0.0.1:" in captured.err
+        assert "0 errors" in captured.err
+        fingerprint = json.loads(captured.out.strip().splitlines()[-1])
+        assert fingerprint["target"] == "fig2"
+
+    def test_attach_missing_dir_exits_2(self, tmp_path):
+        assert main(
+            ["-q", "serve", "attach", "--dir", str(tmp_path / "nope")]
+        ) == 2
+
+
+class TestTraceExitCodes:
+    """Satellite: `repro trace` honors the 0/1/2 contract."""
+
+    def test_unwritable_out_dir_exits_2_without_traceback(
+        self, tmp_path, capsys
+    ):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        # --out beneath a regular file: mkdir must fail cleanly.
+        code = main([
+            "-q", "trace", "chaos",
+            "--out", str(blocker / "sub"),
+        ])
+        assert code == 2
+
+    def test_export_write_failure_exits_2(
+        self, tmp_path, monkeypatch
+    ):
+        def broken_write(*args, **kwargs):
+            raise OSError("disk full")
+
+        # _cmd_trace imports the name from the repro.trace package.
+        monkeypatch.setattr(
+            "repro.trace.write_jsonl", broken_write
+        )
+        code = main([
+            "-q", "trace", "fig2", "--days", "2", "--tops", "2",
+            "--children", "2", "--out", str(tmp_path / "out"),
+        ])
+        assert code == 2
+
+    def test_clean_chaos_trace_exits_0(self, tmp_path):
+        code = main([
+            "-q", "trace", "chaos", "--seed", "0",
+            "--out", str(tmp_path / "out"),
+        ])
+        assert code == 0

@@ -1,0 +1,107 @@
+"""TelemetryHub over real HTTP: endpoints, SSE, schema validation."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ServeOptions, probe_hub, run_serve
+from repro.serve.runner import _read_sse_frames
+from repro.serve.schemas import validate
+
+
+@pytest.fixture(scope="module")
+def chaos_outcome():
+    outcome = run_serve(
+        ServeOptions(target="chaos", seed=0, sample_every=5)
+    )
+    yield outcome
+    outcome.hub.stop()
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+class TestEndpoints:
+    def test_probe_validates_every_endpoint(self, chaos_outcome):
+        errors, visited = probe_hub(chaos_outcome.hub.url)
+        assert errors == []
+        for endpoint in ("/healthz", "/metrics", "/spans", "/claims",
+                        "/violations", "/profile", "/stream", "/"):
+            assert endpoint in visited
+
+    def test_health_reports_finished_run(self, chaos_outcome):
+        health = fetch(f"{chaos_outcome.hub.url}/healthz")
+        assert validate(health) == []
+        assert health["state"] == "finished"
+        assert health["target"] == "chaos"
+        assert health["events"] > 0
+        assert health["groups"]  # figure-3 group has live state
+
+    def test_tree_endpoint_matches_fingerprint_group(
+        self, chaos_outcome
+    ):
+        health = fetch(f"{chaos_outcome.hub.url}/healthz")
+        group = health["groups"][0]
+        tree = fetch(f"{chaos_outcome.hub.url}/tree/{group}")
+        assert validate(tree) == []
+        assert tree["group"] == group
+        assert tree["entries"], "on-tree routers expected"
+        routers = {entry["router"] for entry in tree["entries"]}
+        for child, upstream in tree["edges"]:
+            assert child in routers
+
+    def test_metrics_counters_nonzero(self, chaos_outcome):
+        metrics = fetch(f"{chaos_outcome.hub.url}/metrics")
+        assert validate(metrics) == []
+        assert metrics["counters"].get("faults.applied", 0) > 0
+
+    def test_spans_limit(self, chaos_outcome):
+        spans = fetch(f"{chaos_outcome.hub.url}/spans?limit=2")
+        assert validate(spans) == []
+        assert len(spans["spans"]) <= 2
+        total = spans["open"] + spans["finished"]
+        assert total >= 2  # traced chaos produces spans
+
+    def test_stream_replays_all_frames(self, chaos_outcome):
+        sink = chaos_outcome.sink
+        frames = _read_sse_frames(
+            f"{chaos_outcome.hub.url}/stream?from=0",
+            count=sink.frames_published + 10,
+        )
+        # Finished run: replay ends with the server's `end` event
+        # after delivering everything the ring still holds.
+        assert len(frames) == len(sink.frames_since(0))
+        for frame in frames:
+            assert validate(frame) == []
+
+    def test_stream_resume_from_seq(self, chaos_outcome):
+        last = chaos_outcome.sink.latest_frame()["seq"]
+        frames = _read_sse_frames(
+            f"{chaos_outcome.hub.url}/stream?from={last}", count=50
+        )
+        assert [f["seq"] for f in frames] == [last]
+
+    def test_unknown_route_404(self, chaos_outcome):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            fetch(f"{chaos_outcome.hub.url}/nope")
+        assert info.value.code == 404
+
+    def test_bad_group_400(self, chaos_outcome):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            fetch(f"{chaos_outcome.hub.url}/tree/banana")
+        assert info.value.code == 400
+
+    def test_status_page_is_selfcontained_html(self, chaos_outcome):
+        with urllib.request.urlopen(
+            f"{chaos_outcome.hub.url}/", timeout=10.0
+        ) as response:
+            page = response.read().decode("utf-8")
+        assert page.startswith("<!DOCTYPE html>")
+        # No external assets: the page must work with nothing else
+        # installed or reachable.
+        assert "http://" not in page and "https://" not in page
+        assert "src=" not in page

@@ -1,0 +1,114 @@
+"""The schema mini-language and validator (repro.serve.schemas)."""
+
+import pytest
+
+from repro.serve import schemas
+
+
+def valid_metrics():
+    return {
+        "schema": "repro.metrics/v1",
+        "seq": 3,
+        "time": 12.5,
+        "events": 400,
+        "counters": {"masc.claims_confirmed": 7},
+        "gauges": {"bgmp.forwarding_entries": 9.0},
+    }
+
+
+class TestValidate:
+    def test_valid_payload_passes(self):
+        assert schemas.validate(valid_metrics()) == []
+
+    def test_missing_required_key(self):
+        payload = valid_metrics()
+        del payload["events"]
+        errors = schemas.validate(payload)
+        assert len(errors) == 1
+        assert "missing required key 'events'" in errors[0]
+
+    def test_extra_key_is_an_error(self):
+        # Additive changes are breaking by design: the schema IS the
+        # contract, so a key the spec does not name must fail.
+        payload = valid_metrics()
+        payload["surprise"] = 1
+        errors = schemas.validate(payload)
+        assert errors == ["repro.metrics/v1: unexpected key 'surprise'"]
+
+    def test_wrong_type(self):
+        payload = valid_metrics()
+        payload["seq"] = "three"
+        errors = schemas.validate(payload)
+        assert "expected int, got str" in errors[0]
+
+    def test_bool_rejected_for_int(self):
+        # bool passes isinstance(..., int); the validator must not
+        # let True leak in as 1.
+        payload = valid_metrics()
+        payload["events"] = True
+        errors = schemas.validate(payload)
+        assert "got bool" in errors[0]
+
+    def test_map_value_spec_enforced(self):
+        payload = valid_metrics()
+        payload["counters"]["bad"] = "not-a-count"
+        errors = schemas.validate(payload)
+        assert "counters.bad" in errors[0]
+
+    def test_unknown_schema(self):
+        errors = schemas.validate({"schema": "repro.nope/v9"})
+        assert errors == ["unknown schema 'repro.nope/v9'"]
+
+    def test_payload_without_schema_field(self):
+        assert schemas.validate({"x": 1}) == [
+            "payload carries no 'schema' field"
+        ]
+
+    def test_non_dict_payload(self):
+        assert schemas.validate([1, 2]) == [
+            "payload is list, not an object"
+        ]
+
+    def test_nested_list_errors_carry_index(self):
+        payload = {
+            "schema": "repro.claims/v1",
+            "time": 1.0,
+            "nodes": [
+                {"name": "M1", "prefixes": ["224.0.0.0/16"]},
+                {"name": "M2", "prefixes": [42]},
+            ],
+        }
+        errors = schemas.validate(payload)
+        assert len(errors) == 1
+        assert "nodes[1].prefixes[0]" in errors[0]
+
+    def test_optional_key_may_be_absent(self):
+        span = {
+            "span_id": 1, "parent_id": None, "name": "x", "layer": "y",
+            "start": 0.0, "end": None, "status": "open",
+        }
+        payload = {
+            "schema": "repro.spans/v1",
+            "time": 0.0, "open": 1, "finished": 0, "spans": [span],
+        }
+        assert schemas.validate(payload) == []
+        span["attrs"] = {"anything": object()}  # ANY spec
+        assert schemas.validate(payload) == []
+
+    def test_null_admitted_where_spec_allows(self):
+        payload = {
+            "schema": "repro.tree/v1",
+            "group": "0xe0008001",
+            "time": 0.0,
+            "root_domain": None,
+            "entries": [],
+            "edges": [],
+        }
+        assert schemas.validate(payload) == []
+
+
+@pytest.mark.parametrize("name", sorted(schemas.SCHEMAS))
+def test_every_schema_requires_its_own_name_field(name):
+    # Each payload self-describes via its "schema" field; every spec
+    # must therefore require one.
+    assert schemas.SCHEMAS[name]["schema"] is str

@@ -1,0 +1,169 @@
+"""TelemetrySink: frame publication, snapshot boundaries, transparency."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.serve.sink import TelemetrySink, render_violation
+from repro.serve.snapshots import ServeSources
+from repro.sim.engine import Simulator
+
+
+def tick(sim, remaining):
+    if remaining > 0:
+        sim.schedule(1.0, tick, sim, remaining - 1)
+
+
+def sources_for(sim, **kwargs):
+    return ServeSources(sim=sim, target="test", **kwargs)
+
+
+class TestFramePublication:
+    def test_frames_every_sample_interval(self):
+        sim = Simulator()
+        sink = TelemetrySink(sources_for(sim), sample_every=3).attach()
+        sim.schedule(0.0, tick, sim, 9)
+        sim.run()
+        assert sim.processed == 10
+        assert sink.frames_published == 3  # events 3, 6, 9
+        sink.mark_finished()
+        assert sink.frames_published == 4  # final flush
+        seqs = [f["seq"] for f in sink.frames_since(0)]
+        assert seqs == [0, 1, 2, 3]
+
+    def test_frame_contents(self):
+        sim = Simulator()
+        sink = TelemetrySink(sources_for(sim), sample_every=2).attach()
+        sim.schedule(0.0, tick, sim, 3)
+        sim.run()
+        frame = sink.latest_frame()
+        assert frame["schema"] == "repro.frame/v1"
+        assert frame["events"] == sim.processed
+        assert frame["time"] == sim.now
+        assert frame["queue_depth"] >= 0
+        assert frame["counters_delta"] == {}
+        assert frame["violations"] == []
+
+    def test_ring_buffer_drops_oldest(self):
+        sim = Simulator()
+        sink = TelemetrySink(
+            sources_for(sim), sample_every=1, max_frames=4
+        ).attach()
+        sim.schedule(0.0, tick, sim, 19)
+        sim.run()
+        assert sink.frames_published == 20
+        held = sink.frames_since(0)
+        assert len(held) == 4
+        assert [f["seq"] for f in held] == [16, 17, 18, 19]
+
+    def test_detach_stops_sampling(self):
+        sim = Simulator()
+        sink = TelemetrySink(sources_for(sim), sample_every=1).attach()
+        sim.schedule(0.0, tick, sim, 4)
+        sim.run()
+        published = sink.frames_published
+        sink.detach()
+        sim.schedule(0.0, tick, sim, 4)
+        sim.run()
+        assert sink.frames_published == published
+
+    def test_sample_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TelemetrySink(sources_for(Simulator()), sample_every=0)
+
+
+class TestViolationFeed:
+    class FakeViolation:
+        invariant = "loop_free_trees"
+        details = ["loop through B1", "loop through C2"]
+        time = 4.25
+
+    def test_render(self):
+        line = render_violation(self.FakeViolation())
+        assert line == (
+            "t=4.25 loop_free_trees: loop through B1; loop through C2"
+        )
+
+    def test_violations_land_in_next_frame_and_feed(self):
+        sim = Simulator()
+        sink = TelemetrySink(sources_for(sim), sample_every=1).attach()
+        sink._on_violation(self.FakeViolation())
+        sim.schedule(0.0, tick, sim, 0)
+        sim.run()
+        frame = sink.latest_frame()
+        assert len(frame["violations"]) == 1
+        assert sink.violations_seen == frame["violations"]
+        # Consumed into the frame exactly once.
+        sink.mark_finished()
+        assert sink.latest_frame()["violations"] == []
+
+
+class TestSnapshots:
+    def test_synchronous_before_attach_and_after_finish(self):
+        sim = Simulator()
+        sink = TelemetrySink(sources_for(sim))
+        assert sink.snapshot(lambda: {"ok": 1}) == {"ok": 1}
+        sink.attach()
+        sim.schedule(0.0, tick, sim, 1)
+        sim.run()
+        sink.mark_finished()
+        assert sink.snapshot(lambda: {"ok": 2}) == {"ok": 2}
+
+    def test_queued_request_fulfilled_at_event_boundary(self):
+        sim = Simulator()
+        sink = TelemetrySink(sources_for(sim), sample_every=1).attach()
+        results = {}
+
+        def requester():
+            results["snap"] = sink.snapshot(
+                lambda: {"events": sim.processed}, timeout=10.0
+            )
+
+        thread = threading.Thread(target=requester)
+        # Stall the simulation until the request is in flight, so the
+        # request is deterministically served by an event boundary.
+        def stall():
+            thread.start()
+            for _ in range(50_000_000):  # bounded spin, GIL yields
+                if sink._requests:
+                    break
+            sim.schedule(1.0, tick, sim, 2)
+
+        sim.schedule(0.0, stall)
+        sim.run()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert results["snap"]["events"] >= 1
+
+    def test_queued_request_error_propagates(self):
+        sim = Simulator()
+        sink = TelemetrySink(sources_for(sim), sample_every=1).attach()
+        sim.schedule(0.0, tick, sim, 1)
+        sim.run()
+        sink.mark_finished()
+
+        def boom():
+            raise RuntimeError("snapshot failed")
+
+        with pytest.raises(RuntimeError, match="snapshot failed"):
+            sink.snapshot(boom)
+
+
+class TestCheckpointTransparency:
+    def test_watched_simulator_pickles_identically(self):
+        def build():
+            sim = Simulator()
+            sim.schedule(0.0, tick, sim, 5)
+            return sim
+
+        bare = build()
+        watched = build()
+        sink = TelemetrySink(sources_for(watched), sample_every=2)
+        sink.attach()
+        assert pickle.dumps(watched.__getstate__()) == pickle.dumps(
+            bare.__getstate__()
+        )
+
+    def test_sink_declares_transient(self):
+        assert TelemetrySink.checkpoint_transient is True

@@ -1,0 +1,153 @@
+"""collect_metrics edge cases: empty registries, cross-layer label
+collisions, delta semantics, and the pinned metrics-JSON schema."""
+
+import json
+import pathlib
+
+from repro.sim.stats import StatRegistry
+from repro.trace.metrics import (
+    MASC_MANAGER_COUNTERS,
+    MASC_NODE_COUNTERS,
+    collect_metrics,
+    flatten_registry,
+    metrics_delta,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "metrics_schema.json"
+
+
+class StubNode:
+    """Just enough MascNode surface for collect_metrics."""
+
+    def __init__(self, name, **counts):
+        self.name = name
+        for attr in MASC_NODE_COUNTERS:
+            setattr(self, attr, counts.get(attr, 0))
+        self.claimed = counts.get("claimed", ())
+
+
+class StubManager:
+    """Just enough DomainSpaceManager surface for collect_metrics."""
+
+    def __init__(self, name, **counts):
+        self.name = name
+        for attr in MASC_MANAGER_COUNTERS:
+            setattr(self, attr, counts.get(attr, 0))
+
+
+class StubInjector:
+    faults_applied = 3
+    recoveries = ()
+
+
+class TestEmptyRegistries:
+    def test_collect_nothing(self):
+        registry = collect_metrics()
+        assert registry.all_counters() == {}
+        assert registry.all_gauges() == {}
+        assert flatten_registry(registry) == ({}, {})
+
+    def test_empty_registry_json_shape(self):
+        payload = json.loads(collect_metrics().to_json())
+        assert payload == {"counters": {}, "gauges": {},
+                           "histograms": {}, "series": {}}
+
+    def test_empty_iterables_contribute_nothing(self):
+        registry = collect_metrics(masc_nodes=[], masc_managers=[])
+        assert flatten_registry(registry) == ({}, {})
+
+
+class TestLabelCollisions:
+    def test_same_counter_name_across_layers_keeps_both(self):
+        # masc.claims_failed exists in BOTH the node and the manager
+        # counter sets. A node and a manager sharing an entity name
+        # must still land under distinct keys (node= vs domain=
+        # labels), while the unlabelled total aggregates both.
+        node = StubNode("X", claims_failed=2)
+        manager = StubManager("X", claims_failed=5)
+        registry = collect_metrics(
+            masc_nodes=[node], masc_managers=[manager]
+        )
+        counters, gauges = flatten_registry(registry)
+        assert counters["masc.claims_failed{node=X}"] == 2
+        assert counters["masc.claims_failed{domain=X}"] == 5
+        assert counters["masc.claims_failed"] == 7
+        assert gauges["masc.claimed_prefixes{node=X}"] == 0
+
+    def test_iteration_order_independent(self):
+        nodes = [StubNode("B", crashes=1), StubNode("A", crashes=2)]
+        forward = flatten_registry(collect_metrics(masc_nodes=nodes))
+        reverse = flatten_registry(
+            collect_metrics(masc_nodes=list(reversed(nodes)))
+        )
+        assert forward == reverse
+
+    def test_collect_into_existing_registry_accumulates(self):
+        registry = StatRegistry()
+        collect_metrics(registry=registry, masc_nodes=[StubNode("A")])
+        collect_metrics(registry=registry, injector=StubInjector())
+        counters, _ = flatten_registry(registry)
+        assert "masc.claims_confirmed{node=A}" in counters
+        assert counters["faults.applied"] == 3
+
+
+class TestMetricsDelta:
+    def test_unchanged_keys_omitted(self):
+        assert metrics_delta({"a": 1, "b": 2}, {"a": 1, "b": 5}) == {
+            "b": 3
+        }
+
+    def test_new_keys_delta_from_zero(self):
+        assert metrics_delta({}, {"a": 4}) == {"a": 4}
+
+    def test_empty_both_ways(self):
+        assert metrics_delta({}, {}) == {}
+        assert metrics_delta({"a": 1}, {}) == {}
+
+    def test_regression_shows_as_negative(self):
+        # Counters are monotonic; a negative delta is the signal that
+        # the maps came from different worlds (documented contract —
+        # the serve sink treats `current` as a fresh baseline then).
+        assert metrics_delta({"a": 9}, {"a": 4}) == {"a": -5}
+
+    def test_key_order_is_sorted(self):
+        delta = metrics_delta({}, {"z": 1, "a": 1, "m": 1})
+        assert list(delta) == ["a", "m", "z"]
+
+
+class TestGoldenSchema:
+    """Pin the exported metrics-JSON shape.
+
+    The golden file is the wire contract for every metrics consumer
+    (trace exports, the serve hub, external tooling). If this test
+    fails, either revert the breaking change or — for a deliberate
+    schema change — regenerate the golden file and say so loudly in
+    the commit message.
+    """
+
+    def build_registry(self):
+        return collect_metrics(
+            masc_nodes=[
+                StubNode(
+                    "M1", claims_confirmed=4, collisions_sent=1,
+                    claimed=("224.0.0.0/16",),
+                )
+            ],
+            masc_managers=[StubManager("T0C0", claims_made=2)],
+            injector=StubInjector(),
+        )
+
+    def test_metrics_json_matches_golden(self):
+        rendered = self.build_registry().to_json(indent=2) + "\n"
+        assert rendered == GOLDEN.read_text(), (
+            f"metrics JSON diverged from {GOLDEN} — breaking change "
+            "to the metrics wire format?"
+        )
+
+    def test_golden_is_valid_sorted_json(self):
+        payload = json.loads(GOLDEN.read_text())
+        assert set(payload) == {
+            "counters", "gauges", "histograms", "series"
+        }
+        keys = list(payload["counters"])
+        assert keys == sorted(keys)

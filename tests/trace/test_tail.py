@@ -1,0 +1,53 @@
+"""Tracer tailing: the incremental span feed behind serve mode."""
+
+from repro.trace.tracer import NULL_TRACER, Tracer
+
+
+class TestTail:
+    def test_cursor_advances_with_spans(self):
+        tracer = Tracer()
+        assert tracer.cursor() == (0, 0)
+        span = tracer.start_span("a")
+        assert tracer.cursor() == (1, 0)
+        span.finish()
+        assert tracer.cursor() == (1, 1)
+
+    def test_tail_sees_each_start_and_finish_exactly_once(self):
+        tracer = Tracer()
+        first = tracer.start_span("a")
+        started, finished, cursor = tracer.tail()
+        assert [s.name for s in started] == ["a"]
+        assert finished == []
+
+        second = tracer.start_span("b")
+        second.finish()
+        first.finish()
+        started, finished, cursor = tracer.tail(cursor)
+        assert [s.name for s in started] == ["b"]
+        # Finish order, not start order.
+        assert finished == [second.span_id, first.span_id]
+
+        started, finished, cursor = tracer.tail(cursor)
+        assert (started, finished) == ([], [])
+
+    def test_finish_is_idempotent_in_the_log(self):
+        tracer = Tracer()
+        span = tracer.start_span("a")
+        span.finish()
+        span.finish()  # no double entry
+        _, finished, _ = tracer.tail()
+        assert finished == [span.span_id]
+
+    def test_lexical_spans_feed_the_log(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        _, finished, _ = tracer.tail()
+        names = {s.span_id: s.name for s in tracer.spans}
+        assert [names[i] for i in finished] == ["inner", "outer"]
+
+    def test_null_tracer_tail_is_empty(self):
+        assert NULL_TRACER.cursor() == (0, 0)
+        assert NULL_TRACER.tail() == ([], [], (0, 0))
+        assert NULL_TRACER.tail((5, 5)) == ([], [], (0, 0))
