@@ -6,7 +6,8 @@ the whole architecture — seeded join/leave/source processes over a
 re-anchor every tree under a withdrawn /20. Both tree-maintenance
 engines (``BgmpNetwork(incremental=...)``) run the identical schedule
 over an identical BGP substrate; everything observable must be
-byte-identical and the incremental engine must be >=2x faster overall.
+byte-identical and the incremental engine must be >=2.5x faster
+overall (measured runs land near 3.5x).
 The run writes ``BENCH_bgmp_churn.json`` at the repo root so the
 speedup trajectory is tracked in-tree.
 """
@@ -49,9 +50,9 @@ def test_bench_bgmp_churn_speedup(benchmark):
     # control traffic byte-identical across engines on every seed.
     assert result.identical
     assert config.domains >= 100
-    # Perf gate from the issue: incremental beats the full walk >=2x
-    # at 100 domains.
-    assert result.speedup >= 2.0, (
+    # Perf gate: incremental beats the full walk >=2.5x at 100
+    # domains (measured ~3.5x; the surplus is the regression budget).
+    assert result.speedup >= 2.5, (
         f"incremental BGMP maintenance speedup regressed: "
         f"{result.speedup:.2f}x"
     )

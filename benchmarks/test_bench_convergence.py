@@ -11,13 +11,15 @@ The second bench is the standing perf gate for the incremental
 dirty-set convergence engine: the fig2-style steady-state churn
 workload on a 100+-domain AS graph must run >=3x faster on the
 incremental engine than on the full-recompute seed engine (CI fails
-below 2.4x, the target minus a 20% regression budget), with
+below 3.0x; measured runs land near 6.7x, so the floor is the paper
+target itself with the surplus as regression budget), with
 byte-identical fingerprints across >=5 seeds. The run writes
 ``BENCH_convergence.json`` at the repo root so the speedup trajectory
 is tracked in-tree.
 """
 
 import json
+import os
 import random
 from pathlib import Path
 
@@ -130,7 +132,18 @@ def test_bench_incremental_engine_speedup(benchmark):
     assert fig4.identical
     assert len(result.per_seed) >= 5
     assert config.domains >= 100
-    # Perf gate: 3x target minus the 20% regression budget.
-    assert result.speedup >= 2.4, (
+    # Perf gate: the full 3x target (measured ~6.7x, so the surplus
+    # is the regression budget).
+    assert result.speedup >= 3.0, (
         f"incremental engine speedup regressed: {result.speedup:.2f}x"
     )
+    # Perf gate for the persistent worker pool: the fig4 sweep must
+    # fan out >=2.5x when there are cores to fan out over. Fingerprint
+    # identity (fig4.identical above) is asserted unconditionally; the
+    # speedup floor only applies where parallelism is physically
+    # available.
+    if (os.cpu_count() or 1) >= 4:
+        assert fig4.speedup >= 2.5, (
+            f"fig4 parallel sweep speedup regressed: "
+            f"{fig4.speedup:.2f}x"
+        )

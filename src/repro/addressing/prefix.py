@@ -8,7 +8,7 @@ written ``address/length`` (e.g. ``224.0.128.0/24``).
 from __future__ import annotations
 
 import functools
-from typing import Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.addressing.ipv4 import (
     ADDRESS_BITS,
@@ -17,6 +17,18 @@ from repro.addressing.ipv4 import (
     mask_bits,
     parse_address,
 )
+
+#: Canonical intern cache: one live instance per (network, length).
+#: Grows with the number of *distinct* prefixes a process touches
+#: (bounded by the address plan, not by event count). Under the GIL a
+#: construction race can briefly let an uninterned duplicate escape;
+#: equality stays value-based so that is a missed fast path, not a bug.
+_INTERNED: Dict[Tuple[int, int], "Prefix"] = {}
+
+
+def interned_count() -> int:
+    """Number of distinct prefixes in the canonical intern cache."""
+    return len(_INTERNED)
 
 
 @functools.total_ordering
@@ -27,11 +39,21 @@ class Prefix:
     Prefixes order first by network address, then by mask length, which
     yields the conventional routing-table ordering (covering aggregates
     sort before their sub-prefixes).
+
+    Instances are *interned*: ``Prefix(n, l)`` returns the one canonical
+    instance per ``(network, length)``, so equality is usually a single
+    identity check and the hash is computed once. Pickling reduces to
+    the constructor, so checkpoint restores re-enter the cache of the
+    restoring process instead of materialising duplicates.
     """
 
-    __slots__ = ("_network", "_length")
+    __slots__ = ("_network", "_length", "_hash")
 
-    def __init__(self, network: int, length: int):
+    def __new__(cls, network: int, length: int) -> "Prefix":
+        if cls is Prefix:
+            cached = _INTERNED.get((network, length))
+            if cached is not None:
+                return cached
         if not 0 <= length <= ADDRESS_BITS:
             raise ValueError(f"mask length out of range: {length}")
         mask = mask_bits(length)
@@ -39,8 +61,13 @@ class Prefix:
             raise ValueError(
                 f"host bits set in {format_address(network)}/{length}"
             )
+        self = super().__new__(cls)
         self._network = network
         self._length = length
+        self._hash = hash((network, length))
+        if cls is Prefix:
+            _INTERNED[(network, length)] = self
+        return self
 
     @classmethod
     def parse(cls, text: str) -> "Prefix":
@@ -157,6 +184,8 @@ class Prefix:
         return bit_at(self._network, position)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Prefix):
             return NotImplemented
         return self._network == other._network and self._length == other._length
@@ -167,7 +196,12 @@ class Prefix:
         return (self._network, self._length) < (other._network, other._length)
 
     def __hash__(self) -> int:
-        return hash((self._network, self._length))
+        return self._hash
+
+    def __reduce__(self):
+        # Route unpickling through the constructor so restored worlds
+        # share the restoring process's intern cache.
+        return (type(self), (self._network, self._length))
 
     def __repr__(self) -> str:
         return f"Prefix({str(self)!r})"

@@ -224,6 +224,21 @@ class _LpmNode:
         self.high: Optional["_LpmNode"] = None
         self.value: Any = _MISSING
 
+    def __getstate__(self):
+        # _MISSING is an identity sentinel: pickled directly it would
+        # restore as a *different* object(), turning every empty node
+        # into a phantom stored value after checkpoint restore. Encode
+        # emptiness as None and wrap real values in a 1-tuple.
+        return (
+            self.low,
+            self.high,
+            None if self.value is _MISSING else (self.value,),
+        )
+
+    def __setstate__(self, state) -> None:
+        self.low, self.high, wrapped = state
+        self.value = _MISSING if wrapped is None else wrapped[0]
+
 
 class LpmTrie:
     """Longest-prefix-match map over possibly overlapping prefixes.

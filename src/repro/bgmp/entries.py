@@ -17,7 +17,12 @@ from repro.topology.domain import Domain
 
 
 class ForwardingEntry:
-    """One (\\*,G) or (S,G) entry at a BGMP router."""
+    """One (\\*,G) or (S,G) entry at a BGMP router.
+
+    Every state mutation (parent, upstream, child list) bumps the
+    owning table's version counter, so per-router digest lines can be
+    cached and rebuilt only where state actually moved.
+    """
 
     def __init__(
         self,
@@ -26,13 +31,38 @@ class ForwardingEntry:
         source_domain: Optional[Domain] = None,
     ):
         self.group = group
-        self.parent = parent
+        self._parent = parent
         self.source_domain = source_domain
         self.children: List[Target] = []
         #: The concrete router the join was propagated to (the best
         #: exit router when the parent target is the MIGP component).
         #: Used to prune the correct upstream after G-RIB changes.
-        self.upstream = None
+        self._upstream = None
+        #: The table this entry lives in (None until created through
+        #: one); mutations invalidate that table's digest cache.
+        self._table: Optional["ForwardingTable"] = None
+
+    def _touch(self) -> None:
+        if self._table is not None:
+            self._table.version += 1
+
+    @property
+    def parent(self) -> Optional[Target]:
+        return self._parent
+
+    @parent.setter
+    def parent(self, target: Optional[Target]) -> None:
+        self._parent = target
+        self._touch()
+
+    @property
+    def upstream(self):
+        return self._upstream
+
+    @upstream.setter
+    def upstream(self, router) -> None:
+        self._upstream = router
+        self._touch()
 
     @property
     def is_source_specific(self) -> bool:
@@ -44,6 +74,7 @@ class ForwardingEntry:
         if target in self.children:
             return False
         self.children.append(target)
+        self._touch()
         return True
 
     def remove_child(self, target: Target) -> bool:
@@ -51,6 +82,7 @@ class ForwardingEntry:
         if target not in self.children:
             return False
         self.children.remove(target)
+        self._touch()
         return True
 
     def targets(self) -> List[Target]:
@@ -100,6 +132,9 @@ class ForwardingTable:
         #: group registry and dirty set in lockstep with the state the
         #: repair pass must revisit; ``None`` costs nothing.
         self.on_change: Optional[Callable[[int, bool], None]] = None
+        #: Monotone mutation counter covering entry creation, removal,
+        #: and in-place entry edits — the digest cache's staleness key.
+        self.version = 0
 
     def get(
         self, group: int, source_domain: Optional[Domain] = None
@@ -128,7 +163,9 @@ class ForwardingTable:
         entry = self._entries.get(key)
         if entry is None:
             entry = ForwardingEntry(group, parent, source_domain)
+            entry._table = self
             self._entries[key] = entry
+            self.version += 1
             if self.on_change is not None:
                 self.on_change(group, True)
         return entry
@@ -139,6 +176,7 @@ class ForwardingTable:
         """Drop an entry; False if absent."""
         if self._entries.pop((group, source_domain), None) is None:
             return False
+        self.version += 1
         if self.on_change is not None:
             self.on_change(group, False)
         return True

@@ -158,13 +158,42 @@ class BgmpNetwork:
         selector = migp_selector or _default_migp_selector
         self._migps: Dict[Domain, MigpComponent] = {}
         self._routers: Dict[BorderRouter, BgmpRouter] = {}
+        #: Stable domain index (topology order) backing the per-group
+        #: member bitmasks, and the router creation order backing the
+        #: per-group router bitmasks — both fixed at construction.
+        self._domain_index: Dict[Domain, int] = {
+            domain: index for index, domain in enumerate(topology.domains)
+        }
+        self._router_seq: Dict[BgmpRouter, int] = {}
+        self._router_list: List[BgmpRouter] = []
         for domain in topology.domains:
-            self._migps[domain] = make_migp(
+            migp = make_migp(
                 selector(domain), domain,
                 unicast_resolver=self._rpf_resolver,
             )
+            migp.on_membership = self._membership_changed
+            self._migps[domain] = migp
             for router in domain.routers.values():
-                self._routers[router] = BgmpRouter(router, self)
+                bgmp = BgmpRouter(router, self)
+                self._routers[router] = bgmp
+                self._router_seq[bgmp] = len(self._router_list)
+                self._router_list.append(bgmp)
+        #: group -> bitmask of member-domain indexes (BIER-style
+        #: bitstring encoding of the receiver set); exact mirror of
+        #: "which domains' MIGPs have members", kept by on_membership.
+        self._member_masks: Dict[int, int] = {}
+        #: group -> bitmask of router indexes holding any entry for the
+        #: group, backed by per-(group, router) entry counts so (S,G)
+        #: state does not clear the bit early.
+        self._group_router_masks: Dict[int, int] = {}
+        self._group_router_counts: Dict[Tuple[int, int], int] = {}
+        #: Digest cache: router -> (table version, serialized lines).
+        self._digest_cache: Dict[
+            BorderRouter, Tuple[int, List[str]]
+        ] = {}
+        self._router_order: List[BorderRouter] = sorted(
+            self._routers, key=lambda r: (r.domain.domain_id, r.name)
+        )
         #: Reverse dependency index: every group that ever acquired
         #: membership or forwarding state is registered as a /32 under
         #: its address, so ``covered(delta.prefix)`` yields exactly the
@@ -182,7 +211,7 @@ class BgmpNetwork:
         if incremental:
             self.bgp.subscribe_grib(self)
             for bgmp in self._routers.values():
-                bgmp.table.on_change = self._entry_changed
+                bgmp.table.on_change = bgmp.entry_changed
         if auto_unicast:
             self._originate_unicast()
 
@@ -263,11 +292,58 @@ class BgmpNetwork:
             self._register_group(group)
             self._dirty_groups.add(group)
 
-    def _entry_changed(self, group: int, created: bool) -> None:
+    def _entry_changed(
+        self, bgmp: BgmpRouter, group: int, created: bool
+    ) -> None:
         """Forwarding-table hook: entry state for ``group`` appeared or
-        vanished somewhere; the repair phases must revisit it."""
+        vanished at ``bgmp``; the repair phases must revisit it. Also
+        keeps the per-group router bitmask (entry-count backed, so an
+        (S,G) removal does not clear a bit the (\\*,G) entry still
+        holds) that lets the refresh walk skip stateless routers."""
         self._register_group(group)
         self._dirty_groups.add(group)
+        index = self._router_seq[bgmp]
+        key = (group, index)
+        counts = self._group_router_counts
+        masks = self._group_router_masks
+        if created:
+            count = counts.get(key, 0) + 1
+            counts[key] = count
+            if count == 1:
+                masks[group] = masks.get(group, 0) | (1 << index)
+        else:
+            count = counts.get(key, 0) - 1
+            if count > 0:
+                counts[key] = count
+            else:
+                counts.pop(key, None)
+                mask = masks.get(group, 0) & ~(1 << index)
+                if mask:
+                    masks[group] = mask
+                else:
+                    masks.pop(group, None)
+
+    def _membership_changed(
+        self, domain: Domain, group: int, present: bool
+    ) -> None:
+        """MIGP presence hook: ``domain`` gained its first or lost its
+        last member of ``group``; flip its bit in the group's member
+        bitmask."""
+        bit = 1 << self._domain_index[domain]
+        mask = self._member_masks.get(group, 0)
+        if present:
+            self._member_masks[group] = mask | bit
+        else:
+            mask &= ~bit
+            if mask:
+                self._member_masks[group] = mask
+            else:
+                self._member_masks.pop(group, None)
+
+    def member_domain_mask(self, group: int) -> int:
+        """The group's member-domain bitmask (bit i = domain i in
+        topology order has at least one member)."""
+        return self._member_masks.get(group, 0)
 
     def _register_group(self, group: int) -> None:
         if not self.incremental or group in self._registered_groups:
@@ -313,12 +389,25 @@ class BgmpNetwork:
         """
         return self._refresh_walk(self._collect_dirty(), max_rounds)
 
+    #: Dirty sets up to this size refresh through the per-group router
+    #: bitmasks (O(routers x dirty) integer tests); larger ones walk
+    #: the tables directly like the full engine. Both paths act on the
+    #: identical (router, group) sequence, so the cutover is invisible
+    #: to fingerprints.
+    _MASK_WALK_LIMIT = 64
+
     def _refresh_walk(
         self, dirty: Optional[Set[int]], max_rounds: int
     ) -> int:
         """One refresh fixpoint over all groups (``dirty is None``) or
         the given dirty set — the single code path both engines share.
         """
+        if (
+            self.incremental
+            and dirty is not None
+            and len(dirty) <= self._MASK_WALK_LIMIT
+        ):
+            return self._refresh_walk_masked(sorted(dirty), max_rounds)
         migrations = 0
         for _ in range(max_rounds):
             changed = 0
@@ -327,6 +416,37 @@ class BgmpNetwork:
                     if dirty is not None and group not in dirty:
                         continue
                     if bgmp.table.get(group) is None:
+                        continue
+                    if bgmp.update_parent(group):
+                        changed += 1
+            migrations += changed
+            if not changed:
+                return migrations
+        raise RuntimeError("tree refresh did not stabilise")
+
+    def _refresh_walk_masked(
+        self, dirty_sorted: List[int], max_rounds: int
+    ) -> int:
+        """Mask-indexed refresh over a small dirty set.
+
+        Visits exactly the (router, group) pairs whose bit is set in
+        the live per-group router bitmask, in the full loop's
+        router-major (creation order), group-minor (sorted) order. The
+        masks are read live, so entries grafted mid-round at a
+        not-yet-visited router are picked up this round — matching the
+        lazy per-router ``table.groups()`` snapshots of the full loop.
+        """
+        masks = self._group_router_masks
+        migrations = 0
+        for _ in range(max_rounds):
+            changed = 0
+            for index, bgmp in enumerate(self._router_list):
+                bit = 1 << index
+                table = bgmp.table
+                for group in dirty_sorted:
+                    if not (masks.get(group, 0) & bit):
+                        continue
+                    if table.get(group) is None:
                         continue
                     if bgmp.update_parent(group):
                         changed += 1
@@ -414,12 +534,17 @@ class BgmpNetwork:
         with self.tracer.span("bgmp.repair", layer="bgmp") as span:
             dirty = self._collect_dirty()
             migrations = self._refresh_walk(dirty, max_rounds=10)
-            groups: Set[int] = set()
-            for domain in self.topology.domains:
-                for group in self.migp_of(domain).member_groups():
-                    if dirty is not None and group not in dirty:
-                        continue
-                    groups.add(group)
+            # The member-domain bitmasks mirror "which domains' MIGPs
+            # have members of g" exactly, so the prune/rejoin phases
+            # read them instead of scanning every domain's membership
+            # tables. Iterating set bits ascending IS topology order,
+            # and the group order stays sorted — the identical acting
+            # sequence as the membership-table walk.
+            masks = self._member_masks
+            if dirty is None:
+                candidates = sorted(g for g, m in masks.items() if m)
+            else:
+                candidates = sorted(g for g in dirty if masks.get(g))
             # Prune BEFORE re-joining: a domain served only by a
             # redundant interior branch (its best exit moved but the
             # old entry's external anchor did not) must lose that
@@ -429,13 +554,20 @@ class BgmpNetwork:
             # repair cycle (observed by check_members_reachable under
             # consecutive root-domain flips).
             pruned = 0
-            for group in sorted(groups):
+            for group in candidates:
                 pruned += self._prune_redundant_branches(group)
             rejoined = 0
-            for domain in self.topology.domains:
+            union = 0
+            for group in candidates:
+                union |= masks.get(group, 0)
+            domains = self.topology.domains
+            while union:
+                low = union & -union
+                union ^= low
+                domain = domains[low.bit_length() - 1]
                 migp = self.migp_of(domain)
-                for group in migp.member_groups():
-                    if dirty is not None and group not in dirty:
+                for group in candidates:
+                    if not (masks.get(group, 0) & low):
                         continue
                     if self._domain_on_tree(domain, group):
                         continue
@@ -462,10 +594,12 @@ class BgmpNetwork:
         leftovers of a tree migration that would otherwise deliver
         (and loop) duplicate copies."""
         pruned = 0
-        for domain in self.topology.domains:
-            migp = self.migp_of(domain)
-            if not migp.has_members(group):
-                continue
+        domains = self.topology.domains
+        mask = self._member_masks.get(group, 0)
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            domain = domains[low.bit_length() - 1]
             best_exit = self.best_exit_router(domain, group)
             if best_exit is None:
                 continue
@@ -778,6 +912,34 @@ class BgmpNetwork:
         metric of section 3)."""
         return sum(len(r.table) for r in self._routers.values())
 
+    def _digest_lines(self, router: BorderRouter) -> List[str]:
+        """One router's digest lines (entries by (group, source);
+        children sorted by repr) — the serialization unit the digest
+        cache invalidates per table version."""
+        lines: List[str] = []
+        table = self._routers[router].table
+        for entry in sorted(
+            table.entries(),
+            key=lambda e: (
+                e.group,
+                e.source_domain.name if e.source_domain else "",
+            ),
+        ):
+            source = (
+                entry.source_domain.name if entry.source_domain else "*"
+            )
+            upstream = (
+                entry.upstream.name if entry.upstream else "-"
+            )
+            children = ",".join(
+                sorted(repr(c) for c in entry.children)
+            )
+            lines.append(
+                f"{router.name}|{entry.group:#x}|{source}|"
+                f"{entry.parent!r}|{children}|{upstream}"
+            )
+        return lines
+
     def forwarding_digest(self) -> str:
         """SHA-256 over the full network forwarding state, serialized
         in a canonical order (routers by (domain id, name); entries by
@@ -786,32 +948,33 @@ class BgmpNetwork:
         Two runs produced the same trees iff their digests match —
         the determinism tests' one-line comparison of the entire data
         plane, independent of dict insertion order or identity hashes.
+
+        Incremental: per-router line blocks are cached against the
+        router's table version (bumped by every entry create, remove,
+        and in-place mutation), so a digest after k changed routers
+        re-serializes k tables, not the whole data plane. The payload
+        is byte-identical to a from-scratch serialization by
+        construction; :meth:`forwarding_digest_uncached` is the
+        reference path the differential tests compare against.
         """
         lines: List[str] = []
-        for router in sorted(
-            self._routers, key=lambda r: (r.domain.domain_id, r.name)
-        ):
+        cache = self._digest_cache
+        for router in self._router_order:
             table = self._routers[router].table
-            for entry in sorted(
-                table.entries(),
-                key=lambda e: (
-                    e.group,
-                    e.source_domain.name if e.source_domain else "",
-                ),
-            ):
-                source = (
-                    entry.source_domain.name if entry.source_domain else "*"
-                )
-                upstream = (
-                    entry.upstream.name if entry.upstream else "-"
-                )
-                children = ",".join(
-                    sorted(repr(c) for c in entry.children)
-                )
-                lines.append(
-                    f"{router.name}|{entry.group:#x}|{source}|"
-                    f"{entry.parent!r}|{children}|{upstream}"
-                )
+            cached = cache.get(router)
+            if cached is None or cached[0] != table.version:
+                cached = (table.version, self._digest_lines(router))
+                cache[router] = cached
+            lines.extend(cached[1])
+        payload = "\n".join(lines).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+    def forwarding_digest_uncached(self) -> str:
+        """The digest recomputed from scratch, bypassing the per-router
+        cache — the reference the incremental path must always match."""
+        lines: List[str] = []
+        for router in self._router_order:
+            lines.extend(self._digest_lines(router))
         payload = "\n".join(lines).encode("utf-8")
         return hashlib.sha256(payload).hexdigest()
 

@@ -46,6 +46,12 @@ class BgmpRouter:
         """The MIGP component of this router's domain."""
         return self.network.migp_of(self.domain)
 
+    def entry_changed(self, group: int, created: bool) -> None:
+        """Forwarding-table ``on_change`` adapter: forward to the
+        network with this router's identity attached (the table itself
+        does not know whose it is)."""
+        self.network._entry_changed(self, group, created)
+
     # ------------------------------------------------------------------
     # G-RIB helpers
 

@@ -55,6 +55,22 @@ SNAPSHOT_REGISTRY: Dict[str, FrozenSet[str]] = {
         "_master_seed",
         "_streams",
     }),
+    # Prefix is a __slots__ class whose __reduce__ rebuilds through the
+    # interning constructor; _hash is derived from the other two, so
+    # constructor args alone are a complete snapshot.
+    "repro.addressing.prefix:Prefix": frozenset({
+        "_network",
+        "_length",
+        "_hash",
+    }),
+    # LpmTrie nodes encode the _MISSING identity sentinel explicitly
+    # (a raw pickle would restore it as a fresh object(), turning
+    # empty nodes into phantom values).
+    "repro.addressing.trie:_LpmNode": frozenset({
+        "low",
+        "high",
+        "value",
+    }),
     # The topology identity classes reconstruct via __reduce__ (hash
     # attributes first, remaining state second).
     "repro.topology.domain:Domain": frozenset({

@@ -383,6 +383,78 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print()
             print(f"report: {path}")
 
+    if args.suite in ("internet", "all"):
+        from repro.experiments.internet import (
+            InternetConfig,
+            profile_top,
+            run_internet_bench,
+            write_internet_report,
+        )
+
+        internet_config = InternetConfig(
+            domains=args.internet_domains,
+            group_domains=args.internet_group_domains,
+            groups_per_domain=args.internet_groups_per_domain,
+            churn_per_phase=args.internet_churn,
+        )
+        log.info(
+            "bench: internet-scale churn, %d domains, %d groups, "
+            "%d seeds",
+            internet_config.domains, internet_config.total_groups,
+            args.internet_seeds,
+        )
+        try:
+            internet = run_internet_bench(
+                internet_config,
+                seeds=tuple(range(args.internet_seeds)),
+                profile=args.profile,
+            )
+        except (ConvergenceError, ValueError) as error:
+            log.error("bench: internet suite failed: %s", error)
+            return 2
+        identical = identical and internet.identical
+        if args.min_speedup and internet.speedup < args.min_speedup:
+            failures.append(
+                f"internet pooled speedup {internet.speedup:.2f}x "
+                f"below --min-speedup gate {args.min_speedup:.2f}x"
+            )
+        if args.suite == "all":
+            print()
+        print(f"internet-scale churn ({internet_config.domains} "
+              f"domains, {internet_config.total_groups} groups, "
+              f"{internet_config.phases} flap+fault phases per seed, "
+              f"pool of {internet.pool_processes})")
+        print(
+            format_table(
+                ("seed", "serial s", "pooled s", "events", "entries",
+                 "identical"),
+                internet.rows(),
+            )
+        )
+        print()
+        print(f"pooled speedup: {internet.speedup:.2f}x  "
+              f"fingerprints identical: {internet.identical}")
+        if internet.profile is not None:
+            print()
+            print("hottest callbacks (serial arm, seed "
+                  f"{internet.seeds[0]})")
+            print(
+                format_table(
+                    ("callback", "events", "total s", "mean s",
+                     "p99 s"),
+                    profile_top(internet.profile),
+                )
+            )
+        if args.json:
+            path = Path(args.json)
+            if args.suite == "all":
+                path = path.with_name(
+                    path.stem + "_internet" + path.suffix
+                )
+            write_internet_report(internet, path)
+            print()
+            print(f"report: {path}")
+
     # Exit-code contract: perf-gate or fingerprint failures produce a
     # one-line readable verdict on stderr and a nonzero exit, never an
     # unhandled traceback.
@@ -624,7 +696,8 @@ def build_parser() -> argparse.ArgumentParser:
              "parallel sweep",
     )
     bench.add_argument("--suite",
-                       choices=("convergence", "bgmp-churn", "all"),
+                       choices=("convergence", "bgmp-churn", "internet",
+                                "all"),
                        default="convergence",
                        help="which standing bench to run")
     bench.add_argument("--domains", type=int, default=100,
@@ -639,6 +712,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bgmp-churn: number of seeds (0..N-1)")
     bench.add_argument("--skip-fig4", action="store_true",
                        help="run only the convergence bench")
+    bench.add_argument("--internet-domains", type=int, default=3326,
+                       help="internet: AS-graph size (route-views "
+                            "scale by default)")
+    bench.add_argument("--internet-group-domains", type=int, default=48,
+                       help="internet: domains originating a /20")
+    bench.add_argument("--internet-groups-per-domain", type=int,
+                       default=44,
+                       help="internet: groups per group domain")
+    bench.add_argument("--internet-churn", type=int, default=400,
+                       help="internet: churn events per phase")
+    bench.add_argument("--internet-seeds", type=int, default=2,
+                       help="internet: number of seeds (0..N-1)")
+    bench.add_argument("--profile", action="store_true",
+                       help="internet: attach the event-loop profiler "
+                            "to the first serial seed and print the "
+                            "hottest callbacks")
     bench.add_argument("--json", default="",
                        help="also write the JSON report to this path")
     bench.add_argument("--min-speedup", type=float, default=0.0,

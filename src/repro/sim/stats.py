@@ -52,6 +52,18 @@ class TimeSeries:
             raise IndexError("empty time series")
         return self._times[-1], self._values[-1]
 
+    def decimate(self, keep_every: int = 2) -> None:
+        """Drop all but every ``keep_every``-th sample (first kept).
+
+        Deterministic downsampling for bounded-memory recorders: the
+        surviving samples depend only on sample indexes, never on wall
+        time, so two same-seed runs decimate identically.
+        """
+        if keep_every < 2:
+            raise ValueError(f"keep_every must be >= 2: {keep_every}")
+        self._times = self._times[::keep_every]
+        self._values = self._values[::keep_every]
+
     def value_at(self, time: float) -> float:
         """Step-function lookup: the last recorded value at or before
         ``time``."""

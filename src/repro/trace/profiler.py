@@ -104,12 +104,32 @@ class EventLoopProfiler:
     #: checkpoints so profiled worlds snapshot like unprofiled ones.
     checkpoint_transient = True
 
-    def __init__(self) -> None:
+    #: Queue-depth sample bound. Per-callback durations are already
+    #: histogram-bounded, so the depth curve was the one structure
+    #: growing linearly with event count; at this bound it decimates
+    #: (keep every other sample, double the recording stride), keeping
+    #: memory flat on internet-scale runs. Decimation is keyed to the
+    #: event counter only — deterministic across same-seed runs.
+    MAX_DEPTH_SAMPLES = 65536
+
+    def __init__(self, max_depth_samples: Optional[int] = None) -> None:
         self.callbacks: Dict[str, CallbackStats] = {}
-        #: Queue depth over *simulation* time (deterministic).
+        #: Queue depth over *simulation* time (deterministic; bounded
+        #: by stride-doubling decimation past ``max_depth_samples``).
         self.queue_depth = TimeSeries("event_queue_depth")
         self.max_queue_depth = 0
         self.events = 0
+        self._max_depth_samples = (
+            self.MAX_DEPTH_SAMPLES
+            if max_depth_samples is None
+            else max(2, max_depth_samples)
+        )
+        #: Events between recorded depth samples (1 until the first
+        #: decimation, then doubling).
+        self._depth_stride = 1
+        #: Exact depth after the latest event — kept outside the
+        #: (possibly decimated) series so snapshots stay exact.
+        self._final_depth = 0
         self._sim: Optional[Simulator] = None
         self._wall_started: Optional[float] = None
         self._wall_total = 0.0
@@ -155,7 +175,15 @@ class EventLoopProfiler:
         self.events += 1
         if queue_depth > self.max_queue_depth:
             self.max_queue_depth = queue_depth
-        self.queue_depth.record(event.time, queue_depth)
+        self._final_depth = queue_depth
+        # Record every _depth_stride-th event (the first event is
+        # always sample 0, so the kept set stays aligned across
+        # stride doublings: events ≡ 0 (mod stride)).
+        if (self.events - 1) % self._depth_stride == 0:
+            self.queue_depth.record(event.time, queue_depth)
+            if len(self.queue_depth) >= self._max_depth_samples:
+                self.queue_depth.decimate(2)
+                self._depth_stride *= 2
 
     # ------------------------------------------------------------------
     # Results
@@ -201,7 +229,10 @@ class EventLoopProfiler:
             },
         }
         if len(depth):
-            record["final_queue_depth"] = depth.last()[1]
+            # _final_depth is exact even after decimation dropped the
+            # last recorded sample (identical to depth.last()[1] on
+            # undecimated runs, so small-run snapshots are unchanged).
+            record["final_queue_depth"] = self._final_depth
             record["mean_queue_depth"] = depth.mean()
         return record
 

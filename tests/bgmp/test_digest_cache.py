@@ -1,0 +1,153 @@
+"""The cached forwarding digest must always match the reference.
+
+``forwarding_digest`` caches per-router digest lines against each
+table's mutation version; ``forwarding_digest_uncached`` recomputes
+from scratch. Any mutation path that forgets to bump the version —
+entry creation/removal, in-place parent or upstream rewrites, child
+set edits — would make the two diverge, so this suite drives every
+mutation source (joins, leaves, repairs, root flaps, router faults)
+on both engines and checks the differential after each step.
+"""
+
+import random
+
+import pytest
+
+from repro.bgmp.network import BgmpNetwork
+from repro.bgp.network import BgpNetwork
+from repro.experiments.churn import (
+    COVERING_RANGE,
+    ChurnConfig,
+    build_churn_schedule,
+    build_churn_topology,
+    group_prefix,
+)
+
+CONFIG = ChurnConfig(
+    domains=40,
+    group_domains=5,
+    groups_per_domain=4,
+    initial_members=2,
+    churn_per_flap=25,
+    flaps=2,
+    maintain_every=5,
+)
+
+
+def _build_network(incremental: bool) -> tuple:
+    topology = build_churn_topology(0, CONFIG.domains)
+    network = BgmpNetwork(
+        topology,
+        bgp=BgpNetwork(topology, incremental=True),
+        incremental=incremental,
+    )
+    network.originate_group_range(topology.domains[0], COVERING_RANGE)
+    for domain in topology.domains[1 : 1 + CONFIG.group_domains]:
+        network.originate_group_range(
+            domain, group_prefix(domain.domain_id)
+        )
+    network.converge()
+    return topology, network
+
+
+@pytest.mark.parametrize("incremental", [True, False])
+def test_digest_matches_reference_through_churn(incremental):
+    topology, network = _build_network(incremental)
+    schedule = build_churn_schedule(CONFIG, seed=0)
+
+    def check():
+        assert network.forwarding_digest() == (
+            network.forwarding_digest_uncached()
+        )
+
+    check()
+    for event in schedule:
+        kind = event[0]
+        if kind == "join":
+            _kind, domain_index, group, host = event
+            network.join(
+                topology.domains[domain_index].host(host), group
+            )
+        elif kind == "leave":
+            _kind, domain_index, group, host = event
+            network.leave(
+                topology.domains[domain_index].host(host), group
+            )
+        elif kind == "send":
+            _kind, domain_index, group = event
+            network.send(
+                topology.domains[domain_index].host("src"), group
+            )
+        elif kind == "repair":
+            network.repair_trees()
+        else:  # flap: withdraw + restore exercises tree migration
+            _kind, domain_index = event
+            domain = topology.domains[domain_index]
+            prefix = group_prefix(domain.domain_id)
+            network.bgp.withdraw(domain.router(), prefix)
+            network.converge()
+            network.repair_trees()
+            check()
+            network.originate_group_range(domain, prefix)
+            network.converge()
+            network.repair_trees()
+        check()
+
+
+def test_digest_tracks_router_faults():
+    topology, network = _build_network(incremental=True)
+    rng = random.Random(4)
+    members = []
+    groups = [
+        (224 << 24) | (index << 12) | offset
+        for index in range(1, 1 + CONFIG.group_domains)
+        for offset in range(CONFIG.groups_per_domain)
+    ]
+    for serial, group in enumerate(groups):
+        domain = topology.domains[rng.randrange(CONFIG.domains)]
+        host = domain.host(f"h{serial}")
+        network.join(host, group)
+        members.append((host, group))
+    network.repair_trees()
+    assert network.forwarding_digest() == (
+        network.forwarding_digest_uncached()
+    )
+    router = topology.domains[10].router()
+    network.bgp.fail_router(router)
+    network.converge()
+    network.repair_trees()
+    assert network.forwarding_digest() == (
+        network.forwarding_digest_uncached()
+    )
+    network.bgp.restore_router(router)
+    network.converge()
+    network.repair_trees()
+    assert network.forwarding_digest() == (
+        network.forwarding_digest_uncached()
+    )
+
+
+def test_in_place_entry_mutation_invalidates_cache():
+    """Rewriting an entry's parent in place (no create/remove) must
+    change the cached digest — the bug class the table version's
+    _touch() hook exists for."""
+    topology, network = _build_network(incremental=True)
+    group = (224 << 24) | (1 << 12)
+    host = topology.domains[20].host("m")
+    network.join(host, group)
+    network.repair_trees()
+    before = network.forwarding_digest()
+    bgmp = next(
+        b for b in network.bgmp_routers() if len(b.table) > 0
+    )
+    (entry,) = [
+        e for e in bgmp.table.entries() if e.group == group
+    ][:1] or [None]
+    assert entry is not None
+    original = entry.parent
+    entry.parent = None if original is not None else bgmp.router
+    after = network.forwarding_digest()
+    assert after != before
+    assert after == network.forwarding_digest_uncached()
+    entry.parent = original
+    assert network.forwarding_digest() == before

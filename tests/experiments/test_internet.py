@@ -1,0 +1,146 @@
+"""Determinism of the internet-scale suite (at test scale).
+
+The bench runs the route-views graph; these tests pin the contracts
+at a size that runs in seconds: seeded schedules are reproducible,
+the workload fingerprint is identical across repeated runs and across
+serial vs pooled sweeps, the shared-topology publication is idempotent
+(pool stays warm), and the BENCH artifact validates against its
+schema.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.internet import (
+    InternetConfig,
+    build_internet_schedule,
+    profile_top,
+    publish_topology,
+    run_internet_bench,
+    run_internet_seeds,
+    run_internet_workload,
+    write_internet_report,
+)
+from repro.serve.schemas import validate
+
+TINY = InternetConfig(
+    domains=60,
+    group_domains=6,
+    groups_per_domain=4,
+    churn_per_phase=30,
+    phases=2,
+    maintain_every=10,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_runner_state():
+    runner.shutdown_pool()
+    runner.clear_shared()
+    yield
+    runner.shutdown_pool()
+    runner.clear_shared()
+
+
+class TestSchedule:
+    def test_same_config_and_seed_reproduces(self):
+        assert build_internet_schedule(TINY, 7) == (
+            build_internet_schedule(TINY, 7)
+        )
+
+    def test_seeds_differ(self):
+        assert build_internet_schedule(TINY, 0) != (
+            build_internet_schedule(TINY, 1)
+        )
+
+    def test_each_phase_ends_with_flap_then_fault(self):
+        schedule = build_internet_schedule(TINY, 3)
+        kinds = [event[0] for event in schedule]
+        assert kinds.count("flap") == TINY.phases
+        assert kinds.count("fault") == TINY.phases
+        assert kinds[-2:] == ["flap", "fault"]
+        # Faults hit transit domains, never the covering root or a
+        # group domain (their flaps are modelled separately).
+        for event in schedule:
+            if event[0] == "fault":
+                assert event[1] > TINY.group_domains
+
+    def test_needs_transit_domains(self):
+        with pytest.raises(ValueError):
+            build_internet_schedule(
+                InternetConfig(domains=7, group_domains=6), 0
+            )
+
+
+class TestSharedTopology:
+    def test_publish_is_idempotent(self):
+        first = publish_topology(TINY)
+        generation = runner._SHARED_GENERATION
+        assert publish_topology(TINY) is first
+        assert runner._SHARED_GENERATION == generation
+
+    def test_distinct_configs_republish(self):
+        publish_topology(TINY)
+        other = InternetConfig(
+            domains=50, group_domains=6, groups_per_domain=4
+        )
+        topology = publish_topology(other)
+        assert len(topology.domains) == 50
+
+
+class TestWorkloadDeterminism:
+    def test_repeated_runs_are_identical(self):
+        first = run_internet_workload(TINY, seed=2)
+        second = run_internet_workload(TINY, seed=2)
+        assert first.fingerprint() == second.fingerprint()
+        assert len(first.phase_digests) == 2 * TINY.phases
+        assert first.events > 0
+        assert first.state_size > 0
+
+    def test_serial_matches_pooled(self):
+        publish_topology(TINY)
+        serial = run_internet_seeds((0, 1), TINY, processes=1)
+        pooled = run_internet_seeds((0, 1), TINY, processes=2)
+        assert [r.fingerprint() for r in serial] == [
+            r.fingerprint() for r in pooled
+        ]
+
+    def test_profile_does_not_change_fingerprint(self):
+        plain = run_internet_workload(TINY, seed=1)
+        profiled = run_internet_workload(TINY, seed=1, profile=True)
+        assert profiled.fingerprint() == plain.fingerprint()
+        assert profiled.profile is not None
+        assert profiled.profile["events"] == profiled.events
+        top = profile_top(profiled.profile, 3)
+        assert len(top) <= 3
+        assert all(label.startswith("internet.") for label, *_ in top)
+
+
+class TestBenchReport:
+    def test_report_validates_and_records_identity(self, tmp_path):
+        result = run_internet_bench(
+            TINY, seeds=(0,), pool_processes=2, profile=True
+        )
+        path = tmp_path / "BENCH_internet.json"
+        payload = write_internet_report(result, path)
+        assert path.exists()
+        assert payload["schema"] == "repro.bench.internet/v1"
+        assert validate(payload) == []
+        assert payload["identical_fingerprints"] is True
+        assert payload["per_seed"]["0"]["identical"] is True
+        assert payload["profile"]["top"]
+
+    def test_writer_rejects_schema_drift(self, tmp_path):
+        result = run_internet_bench(TINY, seeds=(0,), pool_processes=1)
+        result.profile = {
+            "events": "not-an-int",
+            "wall_seconds": 0.0,
+            "events_per_second": 0.0,
+            "callbacks": {},
+        }
+        with pytest.raises(ValueError):
+            write_internet_report(
+                result, tmp_path / "BENCH_internet.json"
+            )

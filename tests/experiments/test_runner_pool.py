@@ -1,0 +1,131 @@
+"""Persistent-pool and fork-shared-payload behavior of the runner.
+
+The runner keeps one worker pool alive across sweeps (the fork cost
+dominated short sweeps) and retires it only when the requested size
+or the :func:`set_shared` payload generation changes. These tests pin
+that lifecycle, the fork-inheritance of shared payloads, and the O(1)
+picklability probe (worker + one representative item, not the whole
+list).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import runner
+
+
+@pytest.fixture(autouse=True)
+def clean_pool_state():
+    """Every test starts and ends with no live pool and no shared
+    payloads, so lifecycle assertions see only their own effects."""
+    runner.shutdown_pool()
+    runner.clear_shared()
+    yield
+    runner.shutdown_pool()
+    runner.clear_shared()
+
+
+def _double(item):
+    return item * 2
+
+
+def _read_shared(key):
+    return runner.get_shared(key)
+
+
+def _type_name(item):
+    return type(item).__name__
+
+
+def test_pool_persists_across_sweeps():
+    runner.parallel_map(_double, [1, 2, 3, 4], processes=2)
+    first = runner._POOL
+    assert first is not None
+    runner.parallel_map(_double, [5, 6, 7, 8], processes=2)
+    assert runner._POOL is first
+
+
+def test_pool_retired_on_size_change():
+    runner.parallel_map(_double, [1, 2, 3, 4], processes=2)
+    first = runner._POOL
+    runner.parallel_map(_double, [1, 2, 3, 4, 5, 6], processes=3)
+    assert runner._POOL is not first
+    assert runner._POOL_SIZE == 3
+
+
+def test_set_shared_retires_stale_pool_and_workers_inherit():
+    runner.parallel_map(_double, [1, 2], processes=2)
+    stale = runner._POOL
+    runner.set_shared(payload={"topology": [1, 2, 3]})
+    results = runner.parallel_map(
+        _read_shared, ["payload", "payload"], processes=2
+    )
+    # The pool built before set_shared cannot see the payload; the
+    # runner must have rebuilt it.
+    assert runner._POOL is not stale
+    assert results == [{"topology": [1, 2, 3]}, {"topology": [1, 2, 3]}]
+
+
+def test_get_shared_absent_key_is_none():
+    assert runner.get_shared("missing") is None
+
+
+def test_clear_shared_retires_pool():
+    runner.set_shared(payload=1)
+    runner.parallel_map(_read_shared, ["payload", "payload"],
+                        processes=2)
+    first = runner._POOL
+    runner.clear_shared()
+    assert runner.parallel_map(
+        _read_shared, ["payload", "payload"], processes=2
+    ) == [None, None]
+    assert runner._POOL is not first
+
+
+def test_shutdown_pool_is_idempotent():
+    runner.shutdown_pool()
+    runner.shutdown_pool()
+    assert runner._POOL is None
+
+
+def test_probe_checks_only_the_first_item():
+    """An unpicklable straggler past index 0 passes the probe; the
+    pool's own dispatch failure then falls back to serial with the
+    full result list intact."""
+    items = [1, 2, lambda: None, 4]
+    results = runner.parallel_map(_type_name, items, processes=2)
+    assert results == ["int", "int", "function", "int"]
+    # The failed dispatch retired the (possibly poisoned) pool.
+    assert runner._POOL is None
+
+
+def test_probe_rejects_unpicklable_first_item():
+    results = runner.parallel_map(
+        _type_name, [lambda: None, 1], processes=2
+    )
+    assert results == ["function", "int"]
+
+
+def test_serial_path_never_builds_a_pool():
+    assert runner.parallel_map(_double, [3], processes=8) == [6]
+    assert runner.parallel_map(_double, [3, 4], processes=1) == [6, 8]
+    assert runner._POOL is None
+
+
+def test_chunked_dispatch_preserves_order():
+    items = list(range(50))
+    assert runner.parallel_map(_double, items, processes=2) == [
+        item * 2 for item in items
+    ]
+
+
+def test_worker_sees_parent_pid_differs():
+    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+        pytest.skip("fork-based pool required")
+    pids = runner.parallel_map(_worker_pid, [0, 1], processes=2)
+    assert all(pid != os.getpid() for pid in pids)
+
+
+def _worker_pid(_item):
+    return os.getpid()

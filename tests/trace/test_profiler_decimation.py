@@ -1,0 +1,96 @@
+"""Bounded queue-depth sampling in the event-loop profiler.
+
+Per-callback durations were always histogram-bounded; the queue-depth
+curve was the one profiler structure growing linearly with event
+count. Past the sample bound it now decimates (keep every other
+sample, double the recording stride), keyed to the deterministic
+event counter — so memory stays flat at internet scale while small
+runs keep their exact, unchanged snapshots.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import TimeSeries
+from repro.trace.profiler import EventLoopProfiler
+
+import pytest
+
+
+def _noop():
+    return None
+
+
+def _run(events: int, bound) -> EventLoopProfiler:
+    sim = Simulator()
+    profiler = EventLoopProfiler(max_depth_samples=bound).attach(sim)
+    for index in range(events):
+        sim.schedule_at(float(index), _noop, name="tick")
+    sim.run()
+    profiler.detach()
+    return profiler
+
+
+class TestTimeSeriesDecimate:
+    def test_keeps_every_other_sample(self):
+        series = TimeSeries("depth")
+        for index in range(10):
+            series.record(float(index), index)
+        series.decimate(2)
+        assert len(series) == 5
+        assert list(series.times) == [
+            0.0, 2.0, 4.0, 6.0, 8.0,
+        ]
+
+    def test_rejects_degenerate_stride(self):
+        with pytest.raises(ValueError):
+            TimeSeries("depth").decimate(1)
+
+
+class TestBoundedDepthSampling:
+    def test_small_runs_sample_every_event(self):
+        profiler = _run(events=10, bound=None)
+        assert profiler.events == 10
+        assert len(profiler.queue_depth) == 10
+        assert profiler._depth_stride == 1
+
+    def test_bound_caps_retained_samples(self):
+        profiler = _run(events=1000, bound=16)
+        assert profiler.events == 1000
+        assert len(profiler.queue_depth) <= 16
+        assert profiler._depth_stride > 1
+
+    def test_kept_samples_stay_stride_aligned(self):
+        profiler = _run(events=500, bound=8)
+        stride = profiler._depth_stride
+        # Samples are the events with counter ≡ 0 (mod stride): their
+        # schedule times are exactly the stride multiples.
+        times = list(profiler.queue_depth.times)
+        assert times == [
+            float(index * stride) for index in range(len(times))
+        ]
+
+    def test_decimation_is_deterministic(self):
+        first = _run(events=777, bound=32)
+        second = _run(events=777, bound=32)
+        assert (
+            list(first.queue_depth)
+            == list(second.queue_depth)
+        )
+        assert first.deterministic_snapshot() == (
+            second.deterministic_snapshot()
+        )
+
+    def test_final_depth_exact_after_decimation(self):
+        profiler = _run(events=300, bound=8)
+        # The last event always drains the queue to 0; decimation may
+        # have dropped that sample, but the snapshot's final depth is
+        # tracked exactly outside the series.
+        snapshot = profiler.deterministic_snapshot()
+        assert snapshot["final_queue_depth"] == 0
+        assert snapshot["events"] == 300
+
+    def test_undecimated_snapshot_matches_last_sample(self):
+        profiler = _run(events=12, bound=None)
+        snapshot = profiler.deterministic_snapshot()
+        assert snapshot["final_queue_depth"] == (
+            profiler.queue_depth.last()[1]
+        )
