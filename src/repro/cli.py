@@ -29,6 +29,16 @@ a shell:
   determinism fingerprint is the last stdout line, and ``--control``
   re-runs the identical workload serve-free so CI can assert the two
   fingerprints are byte-identical.
+- ``scenarios`` — the declarative scenario suite (see
+  :mod:`repro.scenarios` and ARCHITECTURE.md §15): ``scenarios run``
+  executes TOML scenario files (default: the ``scenarios/`` directory)
+  and prints one status + fingerprint line each, optionally comparing
+  canonical snapshots against checked-in goldens (``--golden-dir``,
+  regenerated with ``--regen``) and fanning out over a process pool
+  (``--processes``); ``scenarios validate`` only parses and
+  cross-checks the files, reporting DSL errors as ``file:line:``
+  messages; ``scenarios list`` tabulates the suite. ``--shard K/N``
+  selects every Nth file for CI matrix jobs.
 
 Results (tables, reports) go to stdout; progress and diagnostics go to
 stderr through :mod:`logging`, controlled by ``-v`` / ``--quiet``, so
@@ -625,6 +635,173 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return findings
 
 
+def _parse_shard(text: str) -> tuple:
+    """``K/N`` -> ``(K, N)`` with ``0 <= K < N``; raises ValueError."""
+    index_text, sep, count_text = text.partition("/")
+    if not sep:
+        raise ValueError(f"--shard must be K/N, got {text!r}")
+    try:
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(f"--shard must be K/N, got {text!r}") from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"--shard needs 0 <= K < N, got {index}/{count}"
+        )
+    return index, count
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import (
+        ScenarioError,
+        discover_scenarios,
+        load_scenario,
+        run_scenario,
+        run_scenario_path,
+    )
+
+    # Resolve the file set: explicit files win over --dir discovery.
+    # Selection problems (missing files, bad shard spec) are usage
+    # errors (exit 2); anything wrong *inside* a file is a finding.
+    if args.files:
+        paths = [Path(name) for name in args.files]
+        for path in paths:
+            if not path.is_file():
+                log.error("scenarios: no such file: %s", path)
+                return 2
+    else:
+        try:
+            paths = discover_scenarios(args.dir)
+        except ScenarioError as error:
+            log.error("scenarios: %s", error.message)
+            return 2
+    if args.shard:
+        try:
+            index, count = _parse_shard(args.shard)
+        except ValueError as error:
+            log.error("scenarios: %s", error)
+            return 2
+        paths = [p for i, p in enumerate(paths) if i % count == index]
+    if not paths:
+        log.error("scenarios: no scenario files selected")
+        return 2
+
+    # Every action starts from validation: a DSL error is a finding
+    # (exit 1) carried by its file:line message, and run refuses to
+    # execute a suite containing invalid files.
+    specs = {}
+    invalid = 0
+    for path in paths:
+        try:
+            specs[path] = load_scenario(path)
+        except ScenarioError as error:
+            log.error("%s", error)
+            invalid += 1
+
+    if args.action == "validate":
+        print(f"{len(paths)} scenario file(s): "
+              f"{len(paths) - invalid} valid, {invalid} invalid")
+        return 1 if invalid else 0
+
+    if args.action == "list":
+        for path in paths:
+            spec = specs.get(path)
+            if spec is None:
+                print(f"{path.stem:<28} INVALID")
+                continue
+            mutations = spec.mutations
+            asserts = spec.assertions
+            print(f"{spec.name:<28} {mutations:>2} do {asserts:>2} "
+                  f"assert  {spec.description}")
+        print(f"{len(paths)} scenario file(s)")
+        return 1 if invalid else 0
+
+    if invalid:
+        log.error(
+            "scenarios: %d invalid file(s); not running", invalid
+        )
+        return 1
+
+    golden_dir = Path(args.golden_dir) if args.golden_dir else None
+    if args.regen and golden_dir is None:
+        log.error("scenarios: --regen requires --golden-dir")
+        return 2
+
+    if args.processes and args.processes > 1:
+        from repro.experiments.runner import (
+            WorkerItemError,
+            parallel_map,
+        )
+
+        log.info(
+            "scenarios: running %d file(s) over %d processes",
+            len(paths), args.processes,
+        )
+        try:
+            outcomes = parallel_map(
+                run_scenario_path,
+                [str(path) for path in paths],
+                processes=args.processes,
+            )
+        except WorkerItemError as error:
+            log.error("scenarios: %s", error)
+            return 2
+    else:
+        outcomes = [run_scenario(specs[path]) for path in paths]
+
+    failed = 0
+    regenerated = 0
+    for path, outcome in zip(paths, outcomes):
+        problems = list(outcome.failures) + list(outcome.violations)
+        if golden_dir is not None:
+            golden_path = golden_dir / f"{outcome.name}.json"
+            if args.regen:
+                try:
+                    golden_path.parent.mkdir(
+                        parents=True, exist_ok=True
+                    )
+                    golden_path.write_text(
+                        json.dumps(
+                            outcome.snapshot, indent=2, sort_keys=True
+                        ) + "\n",
+                        encoding="utf-8",
+                    )
+                except OSError as error:
+                    log.error(
+                        "scenarios: cannot write golden %s: %s",
+                        golden_path, error,
+                    )
+                    return 2
+                regenerated += 1
+            elif not golden_path.is_file():
+                problems.append(
+                    f"{path}: no golden snapshot at {golden_path} "
+                    "(generate with --regen)"
+                )
+            elif json.loads(
+                golden_path.read_text(encoding="utf-8")
+            ) != outcome.snapshot:
+                problems.append(
+                    f"{path}: snapshot drifted from golden "
+                    f"{golden_path} (inspect the diff, then --regen)"
+                )
+        status = "ok" if not problems else "FAIL"
+        print(f"{status:<5} {outcome.name:<28} "
+              f"{outcome.fingerprint[:12]}")
+        for problem in problems:
+            log.error("%s", problem)
+        if problems:
+            failed += 1
+    print(f"{len(outcomes)} scenarios: "
+          f"{len(outcomes) - failed} ok, {failed} failed")
+    if args.regen:
+        print(f"regenerated {regenerated} golden snapshot(s) "
+              f"in {golden_dir}")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -839,6 +1016,61 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: the chain's remainder)")
     _serve_common(serve_attach)
     serve_attach.set_defaults(func=_cmd_serve)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="declarative TOML scenario suite "
+             "(run | list | validate)",
+    )
+    scenarios_sub = scenarios.add_subparsers(
+        dest="action", required=True
+    )
+
+    def _scenarios_common(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("files", nargs="*",
+                        help="specific scenario files (default: every "
+                             "*.toml under --dir)")
+        sp.add_argument("--dir", default="scenarios",
+                        help="scenario directory (default: scenarios/)")
+        sp.add_argument("--shard", default="",
+                        help="K/N: run every Nth file starting at K "
+                             "(CI matrix sharding)")
+
+    scenarios_run = scenarios_sub.add_parser(
+        "run", help="execute scenarios; one status+fingerprint line "
+                    "each",
+    )
+    _scenarios_common(scenarios_run)
+    scenarios_run.add_argument(
+        "--golden-dir", default="",
+        help="compare canonical snapshots against <name>.json goldens "
+             "in this directory (drift is a finding)",
+    )
+    scenarios_run.add_argument(
+        "--regen", action="store_true",
+        help="rewrite the goldens in --golden-dir from this run",
+    )
+    scenarios_run.add_argument(
+        "--processes", type=int, default=0,
+        help="fan runs out over a process pool (0/1 = serial; "
+             "pooled fingerprints are byte-identical to serial)",
+    )
+    scenarios_run.set_defaults(func=_cmd_scenarios)
+
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="tabulate the suite: name, step counts, "
+                     "description",
+    )
+    _scenarios_common(scenarios_list)
+    scenarios_list.set_defaults(func=_cmd_scenarios)
+
+    scenarios_validate = scenarios_sub.add_parser(
+        "validate",
+        help="parse and cross-check only; DSL errors print as "
+             "file:line: messages",
+    )
+    _scenarios_common(scenarios_validate)
+    scenarios_validate.set_defaults(func=_cmd_scenarios)
 
     # ``repro lint`` is an alias of ``python -m repro.lint`` and keeps
     # its exit-code contract (0 clean, 1 findings, 2 usage) — the same

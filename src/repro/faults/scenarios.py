@@ -7,25 +7,31 @@ the same simulator clock. Every declared fault candidate is
 survivable by design, so post-recovery invariants must hold for any
 schedule drawn from them — which is what both the determinism test
 suite and the ``repro trace chaos`` CLI command exercise.
+
+The world itself comes from :mod:`repro.scenarios.fixtures`, the
+shared builders the declarative scenario DSL and the test suites use;
+this module only assembles them into a :class:`ChaosScenario` with
+the survivable fault candidates.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
-from repro.addressing.prefix import Prefix
-from repro.bgmp.network import BgmpNetwork
-from repro.bgp.network import BgpNetwork
 from repro.faults.chaos import ChaosScenario
 from repro.faults.plan import FaultCandidate
-from repro.masc.config import MascConfig
-from repro.masc.node import MascNode, MascOverlay
+from repro.scenarios.fixtures import (
+    FIGURE3_GROUP,
+    figure3_bgmp_network,
+    small_masc_tree,
+)
 from repro.sim.engine import Simulator
-from repro.topology.generators import paper_figure3_topology
 
-#: The group members in F and H join.
-FIGURE3_GROUP = 0xE0008001
+__all__ = [
+    "FIGURE3_CANDIDATES",
+    "FIGURE3_GROUP",
+    "figure3_chaos_scenario",
+]
 
 #: Survivable faults: each link and router has a redundant path, and
 #: the MASC nodes recover through failover and restart.
@@ -53,42 +59,15 @@ def figure3_chaos_scenario(
     can vary one layer at a time over identical substrates and compare
     fingerprints."""
     sim = Simulator()
-    topology = paper_figure3_topology()
-    network = BgmpNetwork(
-        topology,
-        bgp=BgpNetwork(topology, incremental=incremental),
-        incremental=(
-            incremental if bgmp_incremental is None else bgmp_incremental
-        ),
+    network = figure3_bgmp_network(
+        members=("F", "H"),
+        incremental=incremental,
+        bgmp_incremental=bgmp_incremental,
     )
-    network.originate_group_range(
-        topology.domain("A"), Prefix.parse("224.0.0.0/16")
-    )
-    network.converge()
-    members = []
-    for name in ("F", "H"):
-        host = topology.domain(name).host("m")
-        if not network.join(host, FIGURE3_GROUP):
-            raise RuntimeError(f"setup join failed in domain {name}")
-        members.append(host.domain)
+    topology = network.topology
+    members = [topology.domain(name) for name in ("F", "H")]
 
-    overlay = MascOverlay(sim, delay=0.1)
-    config = MascConfig(
-        claim_policy="first", waiting_period=2.0,
-        reannounce_interval=None,
-    )
-    parent = MascNode(0, "MP", overlay, config=config,
-                      rng=random.Random(0))
-    siblings = [
-        MascNode(i, f"M{i}", overlay, config=config,
-                 rng=random.Random(i))
-        for i in (1, 2)
-    ]
-    parent.start_claim(8)
-    sim.run(until=5.0)
-    for node in siblings:
-        node.set_parent(parent)
-        node.start_claim(16)
+    overlay, parent, siblings = small_masc_tree(sim)
 
     return ChaosScenario(
         sim=sim,

@@ -1,0 +1,226 @@
+"""Scenario specifications: the validated, in-memory form of a
+scenario TOML file.
+
+A scenario declares a *topology* (a named builder or an explicit
+domain/link list), the *groups* rooted in it, optionally a small MASC
+claim tree sharing the simulator clock, and an ordered list of
+*steps*. Each step either mutates the world (``do = "..."``) or
+asserts expected state (``assert = "..."``); both carry the source
+file and line they came from, so every validation or assertion
+failure points at the scenario text that caused it.
+
+The catalog — enforced by the loader, documented in ARCHITECTURE §15:
+
+Mutation verbs
+    ``join``, ``leave``, ``send``, ``link-down``, ``link-up``,
+    ``crash-router``, ``restore-router``, ``masc-crash``,
+    ``masc-restart``, ``partition``, ``heal``, ``claim``,
+    ``move-root``, ``recover``, ``record-digest``.
+
+Assertion verbs
+    ``members-reachable``, ``root-domain``, ``tree-parent``,
+    ``tree-children``, ``on-tree``, ``digest``, ``claims-disjoint``,
+    ``claim-count``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class ScenarioError(Exception):
+    """A scenario file failed validation.
+
+    Rendered as ``path:line: message`` so CI failures point at the
+    exact scenario text; ``line`` is the first line of the offending
+    step/table (0 when the error concerns the file as a whole).
+    """
+
+    def __init__(self, message: str, path: str = "", line: int = 0):
+        self.path = path
+        self.line = line
+        self.message = message
+        location = path if path else "<scenario>"
+        if line:
+            location = f"{location}:{line}"
+        super().__init__(f"{location}: {message}")
+
+
+#: Mutation verbs and the fields they accept beyond ``at``/``do``.
+#: Required fields are listed first in each tuple pair.
+STEP_VERBS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "join": (("host", "group"), ("may_fail",)),
+    "leave": (("host", "group"), ()),
+    "send": (("from", "group"), ("expect_reach", "expect_miss")),
+    "link-down": (("a", "b"), ()),
+    "link-up": (("a", "b"), ()),
+    "crash-router": (("router",), ()),
+    "restore-router": (("router",), ()),
+    "masc-crash": (("node",), ()),
+    "masc-restart": (("node",), ()),
+    "partition": (("side_a", "side_b"), ()),
+    "heal": (("side_a", "side_b"), ()),
+    "claim": (("node", "bits"), ("must_select",)),
+    "move-root": (("range", "to"), ("from",)),
+    "recover": ((), ()),
+    "record-digest": (("label",), ()),
+}
+
+#: Assertion verbs and their fields (required, optional).
+ASSERT_VERBS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "members-reachable": (
+        ("group", "source"), ("members", "absent")
+    ),
+    "root-domain": (("group", "domain"), ()),
+    "tree-parent": (("group", "router", "parent"), ()),
+    "tree-children": (
+        ("group", "router"), ("contains", "excludes", "count")
+    ),
+    "on-tree": (("group", "router"), ("present",)),
+    "digest": (("same_as",), ("equal",)),
+    "claims-disjoint": ((), ()),
+    "claim-count": (("node",), ("min", "equals")),
+}
+
+#: Topology builders and their accepted parameters.
+TOPOLOGY_BUILDERS: Dict[str, Tuple[str, ...]] = {
+    "figure1": (),
+    "figure3": (),
+    "linear": ("length",),
+    "kary": ("tops", "children", "mesh"),
+    "transit-stub": ("transits", "stubs", "extra_links", "seed"),
+    "custom": (),
+}
+
+DOMAIN_KINDS = ("backbone", "regional", "stub")
+
+LINK_RELATIONS = ("provider", "peer", "none")
+
+
+@dataclass(frozen=True)
+class Step:
+    """One scenario step: a mutation or an assertion at a sim time."""
+
+    at: float
+    verb: str
+    is_assert: bool
+    args: Dict[str, object]
+    path: str
+    line: int
+
+    def error(self, message: str) -> ScenarioError:
+        """A validation/assertion error anchored at this step."""
+        return ScenarioError(message, self.path, self.line)
+
+    def describe(self) -> str:
+        kind = "assert" if self.is_assert else "do"
+        return f"{kind} {self.verb} @{self.at:g}"
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One custom-topology domain."""
+
+    name: str
+    kind: str = "stub"
+    migp: str = ""
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One custom-topology inter-domain link.
+
+    Endpoints are ``DOMAIN`` (auto-named router) or
+    ``DOMAIN:ROUTER``. ``relation="provider"`` makes ``a`` the
+    provider of ``b``; ``multicast=False`` declares a unicast-only
+    link (the M-RIB incongruence case).
+    """
+
+    a: str
+    b: str
+    relation: str = "none"
+    multicast: bool = True
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """The scenario's internetwork: a named builder or custom lists."""
+
+    builder: str
+    params: Dict[str, object] = field(default_factory=dict)
+    migp: str = ""
+    domains: Tuple[DomainSpec, ...] = ()
+    links: Tuple[LinkSpec, ...] = ()
+    #: Router-name pairs of existing links to mark unicast-only
+    #: (applies on top of any builder).
+    unicast_only: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """A multicast group and the MASC range that roots it."""
+
+    address: int
+    address_text: str
+    range_text: str
+    root: str
+
+
+@dataclass(frozen=True)
+class MascNodeSpec:
+    """One MASC claim-tree node (parent named, "" for top level)."""
+
+    name: str
+    parent: str = ""
+
+
+@dataclass(frozen=True)
+class MascSpec:
+    """The scenario's MASC overlay configuration."""
+
+    nodes: Tuple[MascNodeSpec, ...]
+    delay: float = 0.1
+    waiting_period: float = 2.0
+
+    def siblings(self) -> List[List[str]]:
+        """Node names grouped by parent (groups of 2+ only) — the
+        sanitizer's claim-disjointness sets."""
+        by_parent: Dict[str, List[str]] = {}
+        for node in self.nodes:
+            by_parent.setdefault(node.parent, []).append(node.name)
+        return [
+            names for parent, names in sorted(by_parent.items())
+            if parent and len(names) > 1
+        ]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully validated scenario, ready for the engine."""
+
+    name: str
+    description: str
+    path: str
+    seed: int
+    horizon: float
+    recovery_delay: float
+    check_every: int
+    topology: Optional[TopologySpec]
+    groups: Tuple[GroupSpec, ...]
+    masc: Optional[MascSpec]
+    steps: Tuple[Step, ...]
+
+    def group(self, address_text: str) -> GroupSpec:
+        for group in self.groups:
+            if group.address_text == address_text:
+                return group
+        raise KeyError(address_text)
+
+    @property
+    def mutations(self) -> int:
+        return sum(1 for s in self.steps if not s.is_assert)
+
+    @property
+    def assertions(self) -> int:
+        return sum(1 for s in self.steps if s.is_assert)

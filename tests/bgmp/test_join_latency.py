@@ -3,22 +3,17 @@
 import pytest
 
 from repro.addressing.ipv4 import parse_address
-from repro.addressing.prefix import Prefix
-from repro.bgmp.network import BgmpNetwork
-from repro.topology.generators import paper_figure3_topology
-
-GROUP = parse_address("224.0.128.1")
+from repro.scenarios.fixtures import (
+    FIGURE3_GROUP as GROUP,
+    figure3_bgmp_network,
+)
 
 
 @pytest.fixture
 def network():
-    topology = paper_figure3_topology()
-    net = BgmpNetwork(topology)
-    net.originate_group_range(
-        topology.domain("B"), Prefix.parse("224.0.128.0/24")
+    return figure3_bgmp_network(
+        root="B", group_range="224.0.128.0/24"
     )
-    net.converge()
-    return net
 
 
 class TestJoinMeasured:

@@ -9,25 +9,18 @@ root domain changes — and existing shared trees must migrate.
 
 import pytest
 
-from repro.addressing.ipv4 import parse_address
 from repro.addressing.prefix import Prefix
-from repro.bgmp.network import BgmpNetwork
 from repro.bgmp.targets import MigpTarget, PeerTarget
-from repro.topology.generators import paper_figure3_topology
-
-GROUP = parse_address("224.0.128.1")
+from repro.scenarios.fixtures import (
+    FIGURE3_GROUP as GROUP,
+    figure3_bgmp_network,
+)
 
 
 @pytest.fixture
 def network():
-    topology = paper_figure3_topology()
-    net = BgmpNetwork(topology)
     # Initially only A's /16 exists: A is the root domain.
-    net.originate_group_range(
-        topology.domain("A"), Prefix.parse("224.0.0.0/16")
-    )
-    net.converge()
-    return net
+    return figure3_bgmp_network()
 
 
 class TestRootMigration:

@@ -8,24 +8,17 @@ as drops rather than crashing the forwarding plane.
 
 import pytest
 
-from repro.addressing.ipv4 import parse_address
 from repro.addressing.prefix import Prefix
-from repro.bgmp.network import BgmpNetwork
 from repro.bgmp.targets import PeerTarget
-from repro.topology.generators import paper_figure3_topology
-
-GROUP = parse_address("224.0.128.1")
+from repro.scenarios.fixtures import (
+    FIGURE3_GROUP as GROUP,
+    figure3_bgmp_network,
+)
 
 
 @pytest.fixture
 def network():
-    topology = paper_figure3_topology()
-    net = BgmpNetwork(topology)
-    net.originate_group_range(
-        topology.domain("A"), Prefix.parse("224.0.0.0/16")
-    )
-    net.converge()
-    return net
+    return figure3_bgmp_network()
 
 
 def join_members(net, names):

@@ -1,0 +1,19 @@
+"""Shared pytest options for the repo test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/scenarios/golden/*.json from this run "
+             "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def regen_golden(request):
+    """True when the run should rewrite golden snapshots."""
+    return request.config.getoption("--regen-golden")

@@ -3,7 +3,6 @@
 import random
 
 from repro.addressing.prefix import Prefix
-from repro.bgmp.network import BgmpNetwork
 from repro.faults.chaos import (
     ChaosHarness,
     ChaosScenario,
@@ -14,10 +13,12 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultCandidate, FaultPlan
 from repro.masc.config import MascConfig
 from repro.masc.node import MascNode, MascOverlay
+from repro.scenarios.fixtures import (
+    FIGURE3_GROUP as GROUP,
+    figure3_bgmp_network,
+    small_masc_tree,
+)
 from repro.sim.engine import Simulator
-from repro.topology.generators import paper_figure3_topology
-
-GROUP = 0xE0008001  # 224.0.128.1
 
 BGMP_CANDIDATES = (
     FaultCandidate("link", "F1", group="F", peer="B2"),
@@ -37,35 +38,10 @@ def build_scenario():
     and H, plus a small MASC tree (parent MP, siblings M1/M2) sharing
     the clock. Every fault candidate is survivable by design."""
     sim = Simulator()
-    topology = paper_figure3_topology()
-    network = BgmpNetwork(topology)
-    network.originate_group_range(
-        topology.domain("A"), Prefix.parse("224.0.0.0/16")
-    )
-    network.converge()
-    members = []
-    for name in ("F", "H"):
-        host = topology.domain(name).host("m")
-        assert network.join(host, GROUP)
-        members.append(host.domain)
-
-    overlay = MascOverlay(sim, delay=0.1)
-    config = MascConfig(
-        claim_policy="first", waiting_period=2.0,
-        reannounce_interval=None,
-    )
-    parent = MascNode(0, "MP", overlay, config=config,
-                      rng=random.Random(0))
-    siblings = [
-        MascNode(i, f"M{i}", overlay, config=config,
-                 rng=random.Random(i))
-        for i in (1, 2)
-    ]
-    parent.start_claim(8)
-    sim.run(until=5.0)
-    for node in siblings:
-        node.set_parent(parent)
-        node.start_claim(16)
+    network = figure3_bgmp_network(members=("F", "H"))
+    topology = network.topology
+    members = [topology.domain(name) for name in ("F", "H")]
+    overlay, parent, siblings = small_masc_tree(sim)
 
     return ChaosScenario(
         sim=sim,

@@ -4,8 +4,6 @@ import random
 
 import pytest
 
-from repro.addressing.prefix import Prefix
-from repro.bgmp.network import BgmpNetwork
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     DelayJitter,
@@ -19,22 +17,17 @@ from repro.faults.plan import (
 )
 from repro.masc.config import MascConfig
 from repro.masc.node import MascNode, MascOverlay
+from repro.scenarios.fixtures import (
+    FIGURE3_GROUP as GROUP,
+    figure3_bgmp_network,
+)
 from repro.sim.engine import Simulator
-from repro.topology.generators import paper_figure3_topology
-
-GROUP = 0xE0008001  # 224.0.128.1
 
 
 @pytest.fixture
 def scenario():
-    topology = paper_figure3_topology()
-    network = BgmpNetwork(topology)
-    network.originate_group_range(
-        topology.domain("A"), Prefix.parse("224.0.0.0/16")
-    )
-    network.converge()
-    assert network.join(topology.domain("F").host("m"), GROUP)
-    return Simulator(), network, topology
+    network = figure3_bgmp_network(members=("F",))
+    return Simulator(), network, network.topology
 
 
 def masc_scenario():
